@@ -1,0 +1,162 @@
+// Command paqoc-bench regenerates the paper's evaluation artifacts: every
+// figure and table of §VI has a named experiment.
+//
+// Usage:
+//
+//	paqoc-bench -list
+//	paqoc-bench fig2|fig6|fig10|fig11|fig12|fig13|fig14|table1|table2|table3|all
+//
+// The -benches flag restricts the Fig. 10–12/14 sweeps to a comma-separated
+// subset (the full 17-benchmark sweep takes a couple of minutes, dominated
+// by dnn). -csv emits Fig. 6's scatter points instead of the summary.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"paqoc/internal/bench"
+	"paqoc/internal/experiments"
+	"paqoc/internal/noise"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list benchmarks and experiments")
+		benches = flag.String("benches", "", "comma-separated benchmark subset for fig10/11/12/14")
+		csv     = flag.Bool("csv", false, "emit CSV scatter data (fig6)")
+		limit   = flag.Int("fig6limit", 0, "cap the number of suite circuits used by fig6 (0 = all 150)")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("experiments: fig2 fig6 fig10 fig11 fig12 fig13 fig14 table1 table2 table2noisy table2full table3 ablate all")
+		fmt.Println("benchmarks:")
+		for _, s := range bench.All() {
+			fmt.Printf("  %-16s %s (%d qubits)\n", s.Name, s.Description, s.Qubits)
+		}
+		return
+	}
+	if flag.NArg() != 1 {
+		fatal(fmt.Errorf("usage: paqoc-bench [flags] <experiment>; try -list"))
+	}
+
+	p := experiments.DefaultPlatform()
+	specs := selectBenches(*benches)
+	out := os.Stdout
+
+	var run func(string)
+	run = func(name string) {
+		switch name {
+		case "fig2":
+			r, err := experiments.Fig2()
+			check(err)
+			r.Print(out)
+		case "fig6":
+			r, err := experiments.Fig6(*limit)
+			check(err)
+			if *csv {
+				r.CSV(out)
+			} else {
+				r.Print(out)
+			}
+		case "fig10", "fig11", "fig12":
+			rows, err := p.RunAll(specs)
+			check(err)
+			switch name {
+			case "fig10":
+				experiments.Fig10(out, rows)
+			case "fig11":
+				experiments.Fig11(out, rows)
+			case "fig12":
+				experiments.Fig12(out, rows)
+			}
+		case "fig13":
+			r, err := experiments.Fig13(p)
+			check(err)
+			r.Print(out)
+		case "fig14":
+			r, err := experiments.Fig14(p, specs)
+			check(err)
+			r.Print(out)
+		case "table1":
+			experiments.PrintTableI(out, experiments.TableI())
+		case "table2":
+			rows, err := experiments.TableII(p)
+			check(err)
+			experiments.PrintTableII(out, rows)
+		case "table2noisy":
+			rows, err := experiments.TableIINoisy(p, noise.NISQDefaults())
+			check(err)
+			experiments.PrintTableIINoisy(out, rows)
+		case "table2full":
+			rows, err := experiments.TableIIFull(p, experiments.TableIIBenches, 0)
+			check(err)
+			experiments.PrintTableIIFull(out, rows)
+		case "ablate":
+			target := "qaoa"
+			if len(specs) > 0 && *benches != "" {
+				target = specs[0].Name
+			}
+			rows, err := p.Ablation(target)
+			check(err)
+			experiments.PrintAblation(out, target, rows)
+		case "table3":
+			rows, err := experiments.TableIII(p)
+			check(err)
+			experiments.PrintTableIII(out, rows)
+		case "all":
+			for _, n := range []string{"table1", "fig2", "fig6"} {
+				run(n)
+				fmt.Fprintln(out)
+			}
+			// One sweep serves Figs. 10–12 and 14.
+			rows, err := p.RunAll(specs)
+			check(err)
+			experiments.Fig10(out, rows)
+			fmt.Fprintln(out)
+			experiments.Fig11(out, rows)
+			fmt.Fprintln(out)
+			experiments.Fig12(out, rows)
+			fmt.Fprintln(out)
+			for _, n := range []string{"fig13", "fig14", "table2", "table3"} {
+				run(n)
+				fmt.Fprintln(out)
+			}
+		default:
+			fatal(fmt.Errorf("unknown experiment %q; try -list", name))
+		}
+	}
+
+	// Figs. 10–12 share one sweep when invoked via "all"; running them
+	// individually is simpler and still correct, so keep it direct.
+	run(flag.Arg(0))
+}
+
+func selectBenches(csv string) []bench.Spec {
+	if csv == "" {
+		return bench.All()
+	}
+	var out []bench.Spec
+	for _, name := range strings.Split(csv, ",") {
+		s, ok := bench.ByName(strings.TrimSpace(name))
+		if !ok {
+			fatal(fmt.Errorf("unknown benchmark %q", name))
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+func check(err error) {
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "paqoc-bench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,80 @@
+// Command paqoc-mine runs the frequent-subcircuits miner on a circuit and
+// prints the discovered APA-basis gate candidates (Table III style).
+//
+// Usage:
+//
+//	paqoc-mine [flags] <circuit-file>
+//	paqoc-mine [flags] -bench <name>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"paqoc/internal/bench"
+	"paqoc/internal/circuit"
+	"paqoc/internal/mining"
+	"paqoc/internal/route"
+	"paqoc/internal/topology"
+	"paqoc/internal/transpile"
+)
+
+func main() {
+	var (
+		benchName  = flag.String("bench", "", "mine a built-in Table I benchmark")
+		maxGates   = flag.Int("maxgates", 6, "pattern size cap")
+		maxQubits  = flag.Int("maxqubits", 3, "pattern width cap")
+		minSupport = flag.Int("minsupport", 2, "minimum disjoint occurrences")
+		top        = flag.Int("top", 5, "patterns to print")
+		physical   = flag.Bool("physical", true, "route onto the 5x5 grid before mining (mine the physical circuit, as PAQOC does)")
+	)
+	flag.Parse()
+
+	var c *circuit.Circuit
+	var err error
+	if *benchName != "" {
+		spec, ok := bench.ByName(*benchName)
+		if !ok {
+			fatal(fmt.Errorf("unknown benchmark %q", *benchName))
+		}
+		c = spec.Build()
+	} else if flag.NArg() == 1 {
+		data, rerr := os.ReadFile(flag.Arg(0))
+		if rerr != nil {
+			fatal(rerr)
+		}
+		c, err = circuit.Parse(string(data))
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		fatal(fmt.Errorf("usage: paqoc-mine [flags] <circuit-file> | paqoc-mine -bench <name>"))
+	}
+
+	if *physical {
+		phys, _, terr := transpile.ToPhysical(c, topology.Grid(5, 5), route.DefaultOptions())
+		if terr != nil {
+			fatal(terr)
+		}
+		c = phys
+	}
+
+	opts := mining.Options{MaxGates: *maxGates, MaxQubits: *maxQubits, MinSupport: *minSupport}
+	patterns := mining.Mine(c, opts)
+	fmt.Printf("%d gates, %d frequent patterns (support ≥ %d)\n", len(c.Gates), len(patterns), *minSupport)
+	for i, p := range patterns {
+		if i >= *top {
+			break
+		}
+		fmt.Printf("#%d  support %-3d coverage %-4d gates %-2d qubits %d\n    %s\n",
+			i+1, p.Support, p.Coverage(), p.GateCount, p.QubitCount, p.Signature)
+	}
+	m := mining.TunedM(c, patterns, *minSupport)
+	fmt.Printf("tuned M (APA majority point): %d\n", m)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "paqoc-mine:", err)
+	os.Exit(1)
+}

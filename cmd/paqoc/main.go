@@ -1,0 +1,260 @@
+// Command paqoc compiles a quantum circuit into control pulses with the
+// PAQOC framework and reports latency, ESP, and the customized-gate
+// grouping.
+//
+// Usage:
+//
+//	paqoc [flags] <circuit-file>        compile a circuit in the text format
+//	paqoc [flags] -bench <name>         compile a built-in Table I benchmark
+//
+// Flags select the APA knob (-m), the group width cap (-maxn), top-k, the
+// fidelity target, and whether to run real GRAPE (-grape) instead of the
+// calibrated analytical model for final pulse emission.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"paqoc/internal/bench"
+	"paqoc/internal/circuit"
+	"paqoc/internal/grape"
+	"paqoc/internal/mining"
+	"paqoc/internal/paqoc"
+	"paqoc/internal/pulse"
+	"paqoc/internal/qasm"
+	"paqoc/internal/route"
+	"paqoc/internal/statevec"
+	"paqoc/internal/topology"
+	"paqoc/internal/transpile"
+)
+
+func main() {
+	var (
+		benchName  = flag.String("bench", "", "compile a built-in Table I benchmark instead of a file")
+		mFlag      = flag.String("m", "0", "APA-basis gate budget: 0, inf, tuned, or a positive integer")
+		maxN       = flag.Int("maxn", 3, "maximum qubits per customized gate")
+		topK       = flag.Int("topk", 1, "merges applied per search iteration")
+		fidelity   = flag.Float64("fidelity", 0.99, "per-gate fidelity target")
+		useGrape   = flag.Bool("grape", false, "emit final pulses with the real GRAPE optimizer (slower)")
+		gridRows   = flag.Int("rows", 5, "device grid rows")
+		gridCols   = flag.Int("cols", 5, "device grid cols")
+		showGroups = flag.Bool("groups", false, "print the final customized-gate grouping")
+		render     = flag.Bool("render", false, "draw the physical circuit as an ASCII wire diagram")
+		pulseJSON  = flag.String("pulse-json", "", "write per-block pulse schedules (requires -grape) to this file")
+		verify     = flag.Bool("verify", false, "statevector-check the compiled circuit against the physical circuit")
+		bidir      = flag.Int("bidir", 0, "SABRE forward-backward layout refinement passes (0 = off)")
+		dbPath     = flag.String("db", "", "pulse-database file: loaded if present, saved after compiling (with -grape)")
+	)
+	flag.Parse()
+
+	logical, err := loadCircuit(*benchName, flag.Args())
+	if err != nil {
+		fatal(err)
+	}
+
+	topo := topology.Grid(*gridRows, *gridCols)
+	routeOpts := route.DefaultOptions()
+	phys, routeRes, err := transpile.ToPhysical(logical, topo, routeOpts)
+	if err != nil {
+		fatal(err)
+	}
+	if *bidir > 0 {
+		// Re-route the lowered circuit with forward-backward refinement.
+		lowered, derr := transpile.Decompose(logical, transpile.UniversalBasis())
+		if derr != nil {
+			fatal(derr)
+		}
+		refined, rerr := route.RouteBidirectional(lowered, topo, routeOpts, *bidir)
+		if rerr != nil {
+			fatal(rerr)
+		}
+		if refined.SwapCount < routeRes.SwapCount {
+			if phys, err = transpile.Decompose(refined.Physical, transpile.UniversalBasis()); err != nil {
+				fatal(err)
+			}
+			routeRes = refined
+		}
+	}
+
+	cfg := paqoc.DefaultConfig()
+	cfg.MaxN = *maxN
+	cfg.TopK = *topK
+	cfg.FidelityTarget = *fidelity
+	cfg.ProbeCaseII = false
+	switch *mFlag {
+	case "0":
+		cfg.M = 0
+	case "inf":
+		cfg.M = paqoc.MInf
+	case "tuned":
+		patterns := mining.Mine(phys, mining.DefaultOptions())
+		cfg.M = mining.TunedM(phys, patterns, cfg.MinSupport)
+		fmt.Printf("tuned M = %d\n", cfg.M)
+	default:
+		if _, err := fmt.Sscanf(*mFlag, "%d", &cfg.M); err != nil || cfg.M < 0 {
+			fatal(fmt.Errorf("bad -m value %q", *mFlag))
+		}
+	}
+
+	var gen pulse.Generator
+	var grapeGen *grape.Generator
+	if *useGrape {
+		grapeGen = grape.NewGenerator(grape.DefaultOptions())
+		grapeGen.Topo = topo
+		if *dbPath != "" {
+			if f, oerr := os.Open(*dbPath); oerr == nil {
+				db, lerr := pulse.LoadDB(f)
+				f.Close()
+				if lerr != nil {
+					fatal(lerr)
+				}
+				grapeGen.DB = db
+				fmt.Printf("pulse DB: loaded %d entries from %s\n", db.Len(), *dbPath)
+			}
+		}
+		gen = grapeGen
+	}
+	comp := paqoc.New(gen, topo, cfg)
+	res, err := comp.Compile(phys)
+	if err != nil {
+		fatal(err)
+	}
+	if grapeGen != nil && *dbPath != "" {
+		f, cerr := os.Create(*dbPath)
+		if cerr != nil {
+			fatal(cerr)
+		}
+		if err := grapeGen.DB.Save(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
+		fmt.Printf("pulse DB: saved %d entries to %s\n", grapeGen.DB.Len(), *dbPath)
+	}
+
+	fmt.Printf("input:    %d logical gates on %d qubits\n", len(logical.Gates), logical.NumQubits)
+	fmt.Printf("physical: %d gates after routing (%d swaps)\n", len(phys.Gates), routeRes.SwapCount)
+	fmt.Printf("output:   %d customized gates", res.NumBlocks)
+	if n := len(res.APASelections); n > 0 {
+		fmt.Printf(" using %d APA-basis patterns", n)
+	}
+	fmt.Println()
+	fmt.Printf("latency:  %.0f dt (fixed-gate baseline %.0f dt, %.1f%% reduction)\n",
+		res.Latency, res.InitialLatency, 100*(1-res.Latency/res.InitialLatency))
+	fmt.Printf("ESP:      %.4f\n", res.ESP)
+	fmt.Printf("compile:  %.2f s modelled pulse generation (%v wall)\n", res.CompileCost, res.WallTime.Round(1e6))
+
+	if *showGroups {
+		fmt.Println("\ncustomized gates:")
+		for i, b := range res.Blocks.Blocks {
+			tag := ""
+			if b.APA {
+				tag = "  [APA]"
+			}
+			fmt.Printf("  %3d  %6.0f dt  %s%s\n", i, b.Latency, b.Custom().Describe(), tag)
+		}
+	}
+	if *verify {
+		if err := verifyCompiled(phys, res); err != nil {
+			fatal(err)
+		}
+		fmt.Println("verify:   compiled circuit is statevector-equivalent to the physical circuit ✓")
+	}
+	if *render {
+		fmt.Println("\nphysical circuit:")
+		fmt.Print(phys.RenderASCII())
+	}
+	if *pulseJSON != "" {
+		if err := writeSchedules(*pulseJSON, res); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("schedules written to %s\n", *pulseJSON)
+	}
+}
+
+// verifyCompiled checks, on the statevector simulator, that the compiled
+// block circuit implements the same state as the physical circuit.
+func verifyCompiled(phys *circuit.Circuit, res *paqoc.Result) error {
+	a, _ := phys.Compact()
+	b, _ := res.Blocks.Flatten().Compact()
+	if a.NumQubits != b.NumQubits {
+		return fmt.Errorf("verify: width mismatch %d vs %d", a.NumQubits, b.NumQubits)
+	}
+	if a.NumQubits > statevec.MaxQubits {
+		return fmt.Errorf("verify: %d used qubits exceed the statevector limit %d", a.NumQubits, statevec.MaxQubits)
+	}
+	sa, err := statevec.Run(a)
+	if err != nil {
+		return err
+	}
+	sb, err := statevec.Run(b)
+	if err != nil {
+		return err
+	}
+	f, err := statevec.Fidelity(sa, sb)
+	if err != nil {
+		return err
+	}
+	if f < 1-1e-7 {
+		return fmt.Errorf("verify: compiled circuit deviates, state fidelity %.9f", f)
+	}
+	return nil
+}
+
+// writeSchedules dumps every block's pulse schedule as a JSON array.
+func writeSchedules(path string, res *paqoc.Result) error {
+	type entry struct {
+		Block    string          `json:"block"`
+		Qubits   []int           `json:"qubits"`
+		Latency  float64         `json:"latency_dt"`
+		Fidelity float64         `json:"fidelity"`
+		Schedule *pulse.Schedule `json:"schedule,omitempty"`
+	}
+	var out []entry
+	for _, b := range res.Blocks.Blocks {
+		e := entry{
+			Block:  b.Custom().Describe(),
+			Qubits: b.Qubits,
+		}
+		if b.Gen != nil {
+			e.Latency = b.Gen.Latency
+			e.Fidelity = b.Gen.Fidelity
+			e.Schedule = b.Gen.Schedule
+		}
+		out = append(out, e)
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+func loadCircuit(benchName string, args []string) (*circuit.Circuit, error) {
+	if benchName != "" {
+		spec, ok := bench.ByName(benchName)
+		if !ok {
+			return nil, fmt.Errorf("unknown benchmark %q (see cmd/paqoc-bench -list)", benchName)
+		}
+		return spec.Build(), nil
+	}
+	if len(args) != 1 {
+		return nil, fmt.Errorf("usage: paqoc [flags] <circuit-file> | paqoc -bench <name>")
+	}
+	data, err := os.ReadFile(args[0])
+	if err != nil {
+		return nil, err
+	}
+	if strings.HasSuffix(args[0], ".qasm") {
+		return qasm.Parse(string(data))
+	}
+	return circuit.Parse(string(data))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "paqoc:", err)
+	os.Exit(1)
+}

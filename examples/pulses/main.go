@@ -1,0 +1,55 @@
+// Pulse-level showcase: run the real GRAPE optimizer on the motivating
+// example of Fig. 2 — pulses for the consolidated H;CX unitary beat the
+// stitched per-gate pulses — and verify the schedule by propagating it
+// through the device Hamiltonian (the QuTiP-substitute simulator).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"paqoc/internal/grape"
+	"paqoc/internal/hamiltonian"
+	"paqoc/internal/pulsesim"
+	"paqoc/internal/quantum"
+)
+
+func main() {
+	opts := grape.DefaultOptions()
+
+	sys1 := hamiltonian.XYTransmon(1, nil)
+	_, hLat, hFid, err := grape.MinimumTime(sys1, quantum.MatH.Clone(), opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("H pulse:        %3.0f dt at fidelity %.4f\n", hLat, hFid)
+
+	sys2 := hamiltonian.XYTransmon(2, hamiltonian.LinearChain(2))
+	cxSched, cxLat, cxFid, err := grape.MinimumTime(sys2, quantum.MatCX.Clone(), opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("CX pulse:       %3.0f dt at fidelity %.4f\n", cxLat, cxFid)
+
+	merged := quantum.MatCX.Mul(quantum.MatH.Kron(quantum.MatI))
+	mSched, mLat, mFid, err := grape.MinimumTime(sys2, merged, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("merged H+CX:    %3.0f dt at fidelity %.4f\n", mLat, mFid)
+	fmt.Printf("stitched total: %3.0f dt → merging saves %.0f%% (paper: 170 vs 110 dt)\n",
+		hLat+cxLat, 100*(1-mLat/(hLat+cxLat)))
+
+	// Independent verification: replay both schedules through the
+	// Hamiltonian and measure realized fidelity.
+	u, err := pulsesim.Evolve(sys2, cxSched)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("CX schedule replayed:     fidelity %.6f\n", pulsesim.GateFidelity(quantum.MatCX, u))
+	u, err = pulsesim.Evolve(sys2, mSched)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("merged schedule replayed: fidelity %.6f\n", pulsesim.GateFidelity(merged, u))
+}

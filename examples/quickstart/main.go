@@ -1,0 +1,50 @@
+// Quickstart: build a small circuit, lower it onto a device, compile it
+// with PAQOC, and inspect the customized gates and their pulses.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"paqoc/internal/circuit"
+	"paqoc/internal/paqoc"
+	"paqoc/internal/route"
+	"paqoc/internal/topology"
+	"paqoc/internal/transpile"
+)
+
+func main() {
+	// A 3-qubit GHZ-style circuit with some phase structure.
+	c := circuit.New(3)
+	c.Add("h", 0)
+	c.Add("cx", 0, 1)
+	c.Add("cx", 1, 2)
+	c.AddParam("rz", []float64{0.5}, 2)
+	c.Add("cx", 1, 2)
+	c.Add("cx", 0, 1)
+	c.Add("h", 0)
+
+	// Lower onto a 2×2 grid device: universal basis + SABRE routing.
+	topo := topology.Grid(2, 2)
+	phys, routed, err := transpile.ToPhysical(c, topo, route.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("physical circuit: %d gates (%d swaps inserted)\n", len(phys.Gates), routed.SwapCount)
+
+	// Compile: criticality-aware merging with the calibrated pulse model.
+	cfg := paqoc.DefaultConfig()
+	cfg.M = paqoc.MInf // let the miner find recurring patterns too
+	compiler := paqoc.New(nil, topo, cfg)
+	res, err := compiler.Compile(phys)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("latency: %.0f dt (was %.0f dt gate-by-gate)\n", res.Latency, res.InitialLatency)
+	fmt.Printf("estimated success probability: %.4f\n", res.ESP)
+	fmt.Println("customized gates:")
+	for i, b := range res.Blocks.Blocks {
+		fmt.Printf("  %2d  %5.0f dt  %s\n", i, b.Latency, b.Custom().Describe())
+	}
+}

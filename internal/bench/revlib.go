@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"math/rand"
+
+	"paqoc/internal/circuit"
+)
+
+// RevLibStyle synthesizes a reversible-logic benchmark in the RevLib /
+// ScaffCC mould: a seeded Toffoli network over nearest-ish qubits, lowered
+// to universal basis gates and padded so the circuit has exactly oneQ
+// one-qubit and twoQ two-qubit gates (Table I's published counts).
+//
+// The original RevLib netlists are not redistributable inside this
+// repository; what the evaluation depends on is the *structure* of
+// Toffoli networks — recurring CCX idioms over few qubits with long
+// dependence chains — which this construction reproduces deterministically
+// per benchmark name.
+func RevLibStyle(nq, oneQ, twoQ int, seed int64) *circuit.Circuit {
+	rng := rand.New(rand.NewSource(seed))
+	c := circuit.New(nq)
+	rem1, rem2 := oneQ, twoQ
+
+	pick3 := func() (int, int, int) {
+		base := rng.Intn(nq)
+		a := base
+		b := (base + 1 + rng.Intn(2)) % nq
+		for b == a {
+			b = (b + 1) % nq
+		}
+		d := (base + 2 + rng.Intn(2)) % nq
+		for d == a || d == b {
+			d = (d + 1) % nq
+		}
+		return a, b, d
+	}
+	pick2 := func() (int, int) {
+		a := rng.Intn(nq)
+		b := (a + 1 + rng.Intn(2)) % nq
+		for b == a {
+			b = (b + 1) % nq
+		}
+		return a, b
+	}
+
+	// The lowered Toffoli idiom costs 9 one-qubit + 6 two-qubit gates.
+	toffoli := func(a, b, d int) {
+		c.Add("h", d)
+		c.Add("cx", b, d)
+		c.Add("tdg", d)
+		c.Add("cx", a, d)
+		c.Add("t", d)
+		c.Add("cx", b, d)
+		c.Add("tdg", d)
+		c.Add("cx", a, d)
+		c.Add("t", b)
+		c.Add("t", d)
+		c.Add("h", d)
+		c.Add("cx", a, b)
+		c.Add("t", a)
+		c.Add("tdg", b)
+		c.Add("cx", a, b)
+	}
+
+	for rem1 >= 9 && rem2 >= 6 {
+		a, b, d := pick3()
+		toffoli(a, b, d)
+		rem1 -= 9
+		rem2 -= 6
+	}
+	for rem2 > 0 {
+		a, b := pick2()
+		c.Add("cx", a, b)
+		rem2--
+	}
+	names := []string{"x", "h", "t", "tdg", "s"}
+	for rem1 > 0 {
+		c.Add(names[rng.Intn(len(names))], rng.Intn(nq))
+		rem1--
+	}
+	return c
+}

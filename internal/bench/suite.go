@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"math"
+	"math/rand"
+
+	"paqoc/internal/circuit"
+)
+
+// Spec describes one Table I application benchmark.
+type Spec struct {
+	Name        string
+	Description string
+	Qubits      int // paper-reported qubit count
+	Paper1Q     int // paper-reported one-qubit gate count
+	Paper2Q     int // paper-reported two-qubit gate count
+	Build       func() *circuit.Circuit
+}
+
+// All returns the seventeen Table I benchmarks in paper order.
+func All() []Spec {
+	secret := make([]bool, 20)
+	for i := range secret {
+		secret[i] = true
+	}
+	return []Spec{
+		{"mod5d2_64", "Toffoli network", 16, 28, 25,
+			func() *circuit.Circuit { return RevLibStyle(16, 28, 25, 101) }},
+		{"rd32_270", "Bit adder", 5, 48, 36,
+			func() *circuit.Circuit { return RevLibStyle(5, 48, 36, 102) }},
+		{"decod24-v1_41", "Binary decoder", 5, 47, 38,
+			func() *circuit.Circuit { return RevLibStyle(5, 47, 38, 103) }},
+		{"4gt10-v1_81", "4 greater than 10", 5, 82, 66,
+			func() *circuit.Circuit { return RevLibStyle(5, 82, 66, 104) }},
+		{"cnt3-5_179", "Ternary counter", 16, 90, 85,
+			func() *circuit.Circuit { return RevLibStyle(16, 90, 85, 105) }},
+		{"hwb4_49", "Hidden weighted bit", 5, 126, 107,
+			func() *circuit.Circuit { return RevLibStyle(5, 126, 107, 106) }},
+		{"ham7_104", "Hamming code", 16, 171, 149,
+			func() *circuit.Circuit { return RevLibStyle(16, 171, 149, 107) }},
+		{"majority_239", "Majority function", 16, 345, 267,
+			func() *circuit.Circuit { return RevLibStyle(16, 345, 267, 108) }},
+		{"bv", "Bernstein Vazirani", 21, 43, 20,
+			func() *circuit.Circuit { return BV(20, secret) }},
+		{"adder", "Cuccaro Adder", 18, 160, 107,
+			func() *circuit.Circuit { return CuccaroAdder(8) }},
+		{"qft", "QFT", 16, 16, 120,
+			func() *circuit.Circuit { return QFT(16) }},
+		{"qaoa", "QAOA", 10, 65, 90,
+			func() *circuit.Circuit { return QAOAMaxcut(10, 0.731, 0.405) }},
+		{"supre", "Supremacy", 25, 245, 100,
+			func() *circuit.Circuit { return Supremacy(5, 5, 10, 109) }},
+		{"simon", "Simon's algorithm", 6, 14, 16,
+			func() *circuit.Circuit { return Simon(3, []bool{true, false, true}) }},
+		{"qpe", "QPE", 9, 28, 33,
+			func() *circuit.Circuit { return QPE(8, math.Pi/3) }},
+		{"dnn", "Deep neural network", 8, 192, 1008,
+			func() *circuit.Circuit { return DNN(8, 12, 110) }},
+		{"bb84", "Crypto. proto", 8, 27, 0,
+			func() *circuit.Circuit { return BB84(8, 27, 111) }},
+	}
+}
+
+// ByName looks up a Table I benchmark.
+func ByName(name string) (Spec, bool) {
+	for _, s := range All() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// Suite150 generates the 150-benchmark corpus behind the §III-B latency
+// observations: small reversible-logic and algorithmic circuits spanning
+// 3–8 qubits, deterministic per index.
+func Suite150() []*circuit.Circuit {
+	out := make([]*circuit.Circuit, 0, 150)
+	for i := 0; i < 150; i++ {
+		seed := int64(1000 + i)
+		rng := rand.New(rand.NewSource(seed))
+		switch i % 5 {
+		case 0: // Toffoli network
+			nq := 3 + rng.Intn(5)
+			out = append(out, RevLibStyle(nq, 18+rng.Intn(60), 12+rng.Intn(40), seed))
+		case 1: // QAOA round on a random graph
+			nq := 4 + rng.Intn(4)
+			out = append(out, qaoaRandomGraph(nq, rng))
+		case 2: // QFT fragment
+			out = append(out, QFT(3+rng.Intn(5)))
+		case 3: // small adder
+			out = append(out, CuccaroAdder(1+rng.Intn(3)))
+		case 4: // dense rotation/entangle mix
+			out = append(out, rotationMix(3+rng.Intn(5), 20+rng.Intn(60), rng))
+		}
+	}
+	return out
+}
+
+func qaoaRandomGraph(n int, rng *rand.Rand) *circuit.Circuit {
+	c := circuit.New(n)
+	gamma := rng.Float64() * math.Pi
+	for q := 0; q < n; q++ {
+		c.Add("h", q)
+	}
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			if rng.Intn(2) == 0 {
+				continue
+			}
+			c.Add("cx", a, b)
+			c.AddParam("rz", []float64{gamma}, b)
+			c.Add("cx", a, b)
+		}
+	}
+	for q := 0; q < n; q++ {
+		c.AddParam("rx", []float64{rng.Float64() * math.Pi}, q)
+	}
+	return c
+}
+
+func rotationMix(n, gates int, rng *rand.Rand) *circuit.Circuit {
+	c := circuit.New(n)
+	names := []string{"h", "t", "s", "x", "sx"}
+	for len(c.Gates) < gates {
+		switch rng.Intn(4) {
+		case 0:
+			c.AddParam("rz", []float64{rng.Float64() * 2 * math.Pi}, rng.Intn(n))
+		case 1:
+			c.Add(names[rng.Intn(len(names))], rng.Intn(n))
+		default:
+			a, b := rng.Intn(n), rng.Intn(n)
+			for b == a {
+				b = rng.Intn(n)
+			}
+			c.Add("cx", a, b)
+		}
+	}
+	return c
+}

@@ -1,0 +1,125 @@
+package circuit
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderASCII draws the circuit as a wire diagram, one row per qubit and
+// one column group per dependence layer:
+//
+//	q0: ─ H ─●───────
+//	q1: ─────X───●───
+//	q2: ─────────X───
+//
+// Controls render as ●, CX/CCX targets as X, other multi-qubit operands by
+// the gate name. Intended for small circuits (examples and debugging);
+// wide circuits wrap at the caller's discretion.
+func (c *Circuit) RenderASCII() string {
+	if len(c.Gates) == 0 {
+		return "(empty circuit)\n"
+	}
+	// Assign each gate to a layer (ASAP schedule).
+	level := make([]int, c.NumQubits)
+	layerOf := make([]int, len(c.Gates))
+	layers := 0
+	for i, g := range c.Gates {
+		mx := 0
+		for _, q := range g.Qubits {
+			if level[q] > mx {
+				mx = level[q]
+			}
+		}
+		layerOf[i] = mx
+		for _, q := range g.Qubits {
+			level[q] = mx + 1
+		}
+		if mx+1 > layers {
+			layers = mx + 1
+		}
+	}
+
+	// Column width per layer: widest cell label within the layer.
+	width := make([]int, layers)
+	cell := func(g Gate, pos int) string {
+		controlled := false
+		switch g.Name {
+		case "cx", "ccx", "toffoli", "cz", "cp", "cphase", "cu1", "crz", "ccz", "cswap":
+			controlled = true
+		}
+		if controlled && pos < len(g.Qubits)-1 {
+			return "●"
+		}
+		switch g.Name {
+		case "cx", "ccx", "toffoli":
+			return "X"
+		case "cz", "ccz":
+			return "Z"
+		case "swap", "cswap":
+			return "x"
+		}
+		label := strings.ToUpper(g.Name)
+		if g.Symbol != "" {
+			label += "(" + g.Symbol + ")"
+		} else if len(g.Params) == 1 {
+			label += fmt.Sprintf("(%.2g)", g.Params[0])
+		}
+		return label
+	}
+	for i, g := range c.Gates {
+		for pos := range g.Qubits {
+			if w := len([]rune(cell(g, pos))); w > width[layerOf[i]] {
+				width[layerOf[i]] = w
+			}
+		}
+	}
+
+	// Paint the grid.
+	grid := make([][]string, c.NumQubits)
+	for q := range grid {
+		grid[q] = make([]string, layers)
+	}
+	vertical := make([][]bool, c.NumQubits) // draws │ between control/target rows
+	for q := range vertical {
+		vertical[q] = make([]bool, layers)
+	}
+	for i, g := range c.Gates {
+		l := layerOf[i]
+		lo, hi := g.Qubits[0], g.Qubits[0]
+		for _, q := range g.Qubits {
+			if q < lo {
+				lo = q
+			}
+			if q > hi {
+				hi = q
+			}
+		}
+		for pos, q := range g.Qubits {
+			grid[q][l] = cell(g, pos)
+		}
+		for q := lo + 1; q < hi; q++ {
+			if grid[q][l] == "" {
+				vertical[q][l] = true
+			}
+		}
+	}
+
+	var b strings.Builder
+	for q := 0; q < c.NumQubits; q++ {
+		fmt.Fprintf(&b, "q%-2d: ", q)
+		for l := 0; l < layers; l++ {
+			s := grid[q][l]
+			pad := width[l] - len([]rune(s))
+			switch {
+			case s != "":
+				b.WriteString("─" + s + strings.Repeat("─", pad+1))
+			case vertical[q][l]:
+				b.WriteString("─│" + strings.Repeat("─", pad+1))
+			default:
+				b.WriteString(strings.Repeat("─", width[l]+2))
+			}
+		}
+		b.WriteString("─\n")
+	}
+	return b.String()
+}

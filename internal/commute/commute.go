@@ -1,0 +1,224 @@
+// Package commute adds commutativity awareness to PAQOC — the extension
+// the paper leaves as future work (§VII, citing Shi et al.'s CLS [43]).
+// It provides sound structural commutation rules for the gate library, an
+// exact unitary-level check used to validate them, and a canonicalization
+// pass that reorders commuting gates to expose merge adjacency (e.g.
+// letting a diagonal rotation slide past a CX control so two CPHASE halves
+// become adjacent).
+package commute
+
+import (
+	"fmt"
+
+	"paqoc/internal/circuit"
+	"paqoc/internal/linalg"
+	"paqoc/internal/quantum"
+)
+
+// diagonal gates are Z-basis diagonal: they commute with each other on any
+// qubit overlap and with control roles of controlled gates.
+var diagonal = map[string]bool{
+	"id": true, "z": true, "s": true, "sdg": true, "t": true, "tdg": true,
+	"rz": true, "u1": true, "cz": true, "cp": true, "cphase": true,
+	"cu1": true, "crz": true, "ccz": true,
+}
+
+// xAxis gates are X-basis diagonal: they commute with CX targets.
+var xAxis = map[string]bool{"x": true, "rx": true, "sx": true}
+
+// Commutes reports whether two gates commute, using sound structural
+// rules (validated against CommutesExact by the package tests). It returns
+// false whenever no rule applies, so it may under-approximate.
+func Commutes(a, b circuit.Gate) bool {
+	shared := sharedQubits(a, b)
+	if len(shared) == 0 {
+		return true
+	}
+	if a.IsSymbolic() || b.IsSymbolic() {
+		// Symbolic angles: diagonal-family rules hold for every binding.
+		return symbolicSafe(a, b, shared)
+	}
+	if diagonal[a.Name] && diagonal[b.Name] {
+		return true
+	}
+	// Role-based rules: every shared qubit must be commutation-compatible.
+	for _, q := range shared {
+		if !roleCompatible(a, b, q) {
+			return false
+		}
+	}
+	return true
+}
+
+// symbolicSafe applies only the rules that hold for all parameter values.
+func symbolicSafe(a, b circuit.Gate, shared []int) bool {
+	if diagonal[a.Name] && diagonal[b.Name] {
+		return true
+	}
+	for _, q := range shared {
+		if !roleCompatible(a, b, q) {
+			return false
+		}
+	}
+	return true
+}
+
+// roleCompatible checks one shared qubit: the pair commutes on q when both
+// sides act diagonally on q (Z-like role) or both act X-like on q.
+func roleCompatible(a, b circuit.Gate, q int) bool {
+	za, xa := roles(a, q)
+	zb, xb := roles(b, q)
+	return (za && zb) || (xa && xb)
+}
+
+// roles classifies how gate g acts on qubit q: zLike means g's action on q
+// is diagonal (a Z rotation or a control), xLike means it is an X-axis
+// action (an X rotation or a CX target).
+func roles(g circuit.Gate, q int) (zLike, xLike bool) {
+	pos := -1
+	for i, gq := range g.Qubits {
+		if gq == q {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 {
+		return true, true // not acting on q at all
+	}
+	switch {
+	case diagonal[g.Name]:
+		return true, false
+	case xAxis[g.Name]:
+		return false, true
+	case g.Name == "cx", g.Name == "ccx", g.Name == "toffoli":
+		// controls come first; the last operand is the target.
+		if pos < len(g.Qubits)-1 {
+			return true, false // control: diagonal role
+		}
+		return false, true // target: X role
+	}
+	return false, false
+}
+
+// CommutesExact multiplies the two gates' unitaries on the union space in
+// both orders and compares — the ground truth used to validate the rules.
+func CommutesExact(a, b circuit.Gate) (bool, error) {
+	if a.IsSymbolic() || b.IsSymbolic() {
+		return false, fmt.Errorf("commute: exact check needs bound parameters")
+	}
+	union := map[int]int{}
+	order := []int{}
+	for _, g := range []circuit.Gate{a, b} {
+		for _, q := range g.Qubits {
+			if _, ok := union[q]; !ok {
+				union[q] = len(order)
+				order = append(order, q)
+			}
+		}
+	}
+	n := len(order)
+	local := func(g circuit.Gate) ([]int, error) {
+		out := make([]int, len(g.Qubits))
+		for i, q := range g.Qubits {
+			out[i] = union[q]
+		}
+		return out, nil
+	}
+	ua, err := a.Unitary()
+	if err != nil {
+		return false, err
+	}
+	ub, err := b.Unitary()
+	if err != nil {
+		return false, err
+	}
+	wa, _ := local(a)
+	wb, _ := local(b)
+	ea := quantum.Embed(ua, wa, n)
+	eb := quantum.Embed(ub, wb, n)
+	ab := ea.Mul(eb)
+	ba := eb.Mul(ea)
+	return linalg.GlobalPhaseDistance(ab, ba) < 1e-9, nil
+}
+
+func sharedQubits(a, b circuit.Gate) []int {
+	set := map[int]bool{}
+	for _, q := range a.Qubits {
+		set[q] = true
+	}
+	var out []int
+	for _, q := range b.Qubits {
+		if set[q] {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// Canonicalize reorders commuting gates so that gates with identical qubit
+// sets become adjacent where legal, exposing merge opportunities to the
+// adjacency-based search. The output is semantically equal to the input
+// (equal unitary): every move is a sequence of adjacent transpositions of
+// commuting gates.
+func Canonicalize(c *circuit.Circuit) *circuit.Circuit {
+	out := c.Clone()
+	gates := out.Gates
+	const maxPasses = 4
+	for pass := 0; pass < maxPasses; pass++ {
+		moved := false
+		for i := 0; i < len(gates); i++ {
+			j := nextSameSet(gates, i)
+			if j < 0 || j == i+1 {
+				continue
+			}
+			// Can gate i slide down to j-1 (equivalently, everything in
+			// (i, j) slide up past it)?
+			ok := true
+			for k := i + 1; k < j; k++ {
+				if !Commutes(gates[i], gates[k]) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			g := gates[i]
+			copy(gates[i:j-1], gates[i+1:j])
+			gates[j-1] = g
+			moved = true
+		}
+		if !moved {
+			break
+		}
+	}
+	out.Gates = gates
+	return out
+}
+
+// nextSameSet finds the next gate with exactly the same qubit set as
+// gates[i], or -1.
+func nextSameSet(gates []circuit.Gate, i int) int {
+	for j := i + 1; j < len(gates); j++ {
+		if sameSet(gates[i].Qubits, gates[j].Qubits) {
+			return j
+		}
+	}
+	return -1
+}
+
+func sameSet(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	set := map[int]bool{}
+	for _, q := range a {
+		set[q] = true
+	}
+	for _, q := range b {
+		if !set[q] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,236 @@
+package commute
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"paqoc/internal/circuit"
+	"paqoc/internal/linalg"
+)
+
+func g(name string, params []float64, qubits ...int) circuit.Gate {
+	return circuit.Gate{Name: name, Params: params, Qubits: qubits}
+}
+
+func TestCommuteKnownPairs(t *testing.T) {
+	cases := []struct {
+		a, b circuit.Gate
+		want bool
+	}{
+		{g("rz", []float64{0.3}, 0), g("rz", []float64{0.7}, 0), true},
+		{g("rz", []float64{0.3}, 0), g("x", nil, 0), false},
+		{g("cx", nil, 0, 1), g("rz", []float64{0.3}, 0), true},  // control is diagonal
+		{g("cx", nil, 0, 1), g("rz", []float64{0.3}, 1), false}, // target is not
+		{g("cx", nil, 0, 1), g("x", nil, 1), true},              // X on target
+		{g("cx", nil, 0, 1), g("x", nil, 0), false},
+		{g("cx", nil, 0, 1), g("cx", nil, 0, 2), true}, // shared control
+		{g("cx", nil, 0, 1), g("cx", nil, 2, 1), true}, // shared target
+		{g("cx", nil, 0, 1), g("cx", nil, 1, 0), false},
+		{g("cx", nil, 0, 1), g("cx", nil, 1, 2), false},
+		{g("cz", nil, 0, 1), g("cz", nil, 1, 2), true}, // diagonal family
+		{g("cz", nil, 0, 1), g("rz", []float64{1}, 1), true},
+		{g("cx", nil, 0, 1), g("ccx", nil, 0, 2, 1), true},
+		{g("cx", nil, 0, 1), g("ccx", nil, 0, 1, 2), false},
+		{g("h", nil, 0), g("h", nil, 0), false}, // no rule: conservative
+		{g("h", nil, 0), g("x", nil, 1), true},  // disjoint
+		{g("cp", []float64{0.4}, 0, 1), g("cp", []float64{0.9}, 1, 2), true},
+	}
+	for _, tc := range cases {
+		if got := Commutes(tc.a, tc.b); got != tc.want {
+			t.Errorf("Commutes(%v, %v) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+		if got := Commutes(tc.b, tc.a); got != tc.want {
+			t.Errorf("Commutes symmetric failure on (%v, %v)", tc.b, tc.a)
+		}
+	}
+}
+
+// TestRulesSoundAgainstExact: whenever the structural rules claim
+// commutation, the unitaries must actually commute.
+func TestRulesSoundAgainstExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	names1 := []string{"x", "sx", "h", "t", "s", "z"}
+	randomGate := func() circuit.Gate {
+		switch rng.Intn(5) {
+		case 0:
+			return g(names1[rng.Intn(len(names1))], nil, rng.Intn(4))
+		case 1:
+			return g("rz", []float64{rng.Float64() * 2 * math.Pi}, rng.Intn(4))
+		case 2:
+			a := rng.Intn(4)
+			b := (a + 1 + rng.Intn(3)) % 4
+			return g("cx", nil, a, b)
+		case 3:
+			a := rng.Intn(4)
+			b := (a + 1 + rng.Intn(3)) % 4
+			return g("cp", []float64{rng.Float64() * math.Pi}, a, b)
+		default:
+			a := rng.Intn(4)
+			b := (a + 1) % 4
+			c := (a + 2) % 4
+			return g("ccx", nil, a, b, c)
+		}
+	}
+	for trial := 0; trial < 400; trial++ {
+		a, b := randomGate(), randomGate()
+		if !Commutes(a, b) {
+			continue // under-approximation is allowed
+		}
+		exact, err := CommutesExact(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !exact {
+			t.Fatalf("rules claim %v and %v commute; the unitaries disagree", a, b)
+		}
+	}
+}
+
+func TestCommutesExactKnown(t *testing.T) {
+	ok, err := CommutesExact(g("cx", nil, 0, 1), g("cx", nil, 1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("reversed CXs should not commute")
+	}
+	ok, err = CommutesExact(g("h", nil, 0), g("h", nil, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("a gate commutes with itself")
+	}
+}
+
+func TestCommutesExactSymbolicError(t *testing.T) {
+	if _, err := CommutesExact(circuit.Gate{Name: "rz", Symbol: "a", Qubits: []int{0}}, g("x", nil, 0)); err == nil {
+		t.Error("expected error for symbolic exact check")
+	}
+}
+
+func TestSymbolicRules(t *testing.T) {
+	sym := circuit.Gate{Name: "rz", Symbol: "th", Qubits: []int{0}}
+	if !Commutes(sym, g("cx", nil, 0, 1)) {
+		t.Error("symbolic rz on a control should commute for every binding")
+	}
+	if Commutes(sym, g("x", nil, 0)) {
+		t.Error("symbolic rz with x cannot be assumed commuting")
+	}
+}
+
+func TestCanonicalizeExposesMerge(t *testing.T) {
+	// cx(0,1); rz(0); cx(0,1) — the rz on the control blocks adjacency but
+	// commutes with the first cx; canonicalization must make the two CXs
+	// adjacent.
+	c := circuit.New(2)
+	c.Add("cx", 0, 1)
+	c.AddParam("rz", []float64{0.8}, 0)
+	c.Add("cx", 0, 1)
+	canon := Canonicalize(c)
+	// Expect rz first or last, CXs adjacent.
+	adjacent := false
+	for i := 0; i+1 < len(canon.Gates); i++ {
+		if canon.Gates[i].Name == "cx" && canon.Gates[i+1].Name == "cx" {
+			adjacent = true
+		}
+	}
+	if !adjacent {
+		t.Errorf("CXs not adjacent after canonicalization: %v", canon.Gates)
+	}
+	checkSame(t, c, canon)
+}
+
+func TestCanonicalizeKeepsBlockedOrder(t *testing.T) {
+	// rz on the TARGET does not commute with cx: order must be unchanged.
+	c := circuit.New(2)
+	c.Add("cx", 0, 1)
+	c.AddParam("rz", []float64{0.8}, 1)
+	c.Add("cx", 0, 1)
+	canon := Canonicalize(c)
+	if canon.Gates[1].Name != "rz" {
+		t.Errorf("illegal reorder: %v", canon.Gates)
+	}
+	checkSame(t, c, canon)
+}
+
+func TestCanonicalizePreservesUnitaryRandom(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := circuit.New(3)
+		names := []string{"h", "t", "x", "s"}
+		for i := 0; i < 20; i++ {
+			switch rng.Intn(3) {
+			case 0:
+				c.Add(names[rng.Intn(len(names))], rng.Intn(3))
+			case 1:
+				c.AddParam("rz", []float64{rng.Float64() * 2 * math.Pi}, rng.Intn(3))
+			default:
+				a := rng.Intn(3)
+				b := (a + 1 + rng.Intn(2)) % 3
+				c.Add("cx", a, b)
+			}
+		}
+		canon := Canonicalize(c)
+		u1, err := c.Unitary(4)
+		if err != nil {
+			return false
+		}
+		u2, err := canon.Unitary(4)
+		if err != nil {
+			return false
+		}
+		return linalg.GlobalPhaseDistance(u1, u2) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCanonicalizeDoesNotMutateInput(t *testing.T) {
+	c := circuit.New(2)
+	c.Add("cx", 0, 1)
+	c.AddParam("rz", []float64{0.8}, 0)
+	c.Add("cx", 0, 1)
+	before := c.String()
+	Canonicalize(c)
+	if c.String() != before {
+		t.Error("Canonicalize mutated its input")
+	}
+}
+
+func checkSame(t *testing.T, a, b *circuit.Circuit) {
+	t.Helper()
+	ua, err := a.Unitary(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ub, err := b.Unitary(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if linalg.GlobalPhaseDistance(ua, ub) > 1e-9 {
+		t.Error("canonicalization changed the unitary")
+	}
+}
+
+func BenchmarkCanonicalize(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	c := circuit.New(8)
+	for i := 0; i < 300; i++ {
+		switch rng.Intn(3) {
+		case 0:
+			c.AddParam("rz", []float64{rng.Float64()}, rng.Intn(8))
+		default:
+			a := rng.Intn(8)
+			x := (a + 1 + rng.Intn(7)) % 8
+			c.Add("cx", a, x)
+		}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Canonicalize(c)
+	}
+}

@@ -1,0 +1,195 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§VI): one runner per artifact, each returning structured rows
+// and able to print the paper-style series. cmd/paqoc-bench exposes them on
+// the command line; bench_test.go at the repository root wraps each in a
+// testing.B benchmark.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"paqoc/internal/accqoc"
+	"paqoc/internal/bench"
+	"paqoc/internal/circuit"
+	"paqoc/internal/latency"
+	"paqoc/internal/mining"
+	"paqoc/internal/paqoc"
+	"paqoc/internal/route"
+	"paqoc/internal/topology"
+	"paqoc/internal/transpile"
+)
+
+// Platform is the evaluation platform of §VI-c: a 5×5 grid with XY
+// interaction, Sabre routing, and fidelity target 0.999.
+type Platform struct {
+	Topo      *topology.Topology
+	RouteOpts route.Options
+	Fidelity  float64
+}
+
+// DefaultPlatform mirrors the paper's setup. The fidelity target of 0.99
+// reproduces the per-gate error regime behind Table II's absolute
+// success probabilities (the paper tunes fidelity so circuit ESP beats the
+// baseline rather than pinning a single value).
+func DefaultPlatform() *Platform {
+	return &Platform{
+		Topo:      topology.Grid(5, 5),
+		RouteOpts: route.DefaultOptions(),
+		Fidelity:  0.99,
+	}
+}
+
+// Physical lowers a logical benchmark onto the platform: decompose to the
+// universal basis, Sabre-route, decompose inserted SWAPs.
+func (p *Platform) Physical(spec bench.Spec) (*circuit.Circuit, error) {
+	phys, _, err := transpile.ToPhysical(spec.Build(), p.Topo, p.RouteOpts)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %v", spec.Name, err)
+	}
+	return phys, nil
+}
+
+// Methods in presentation order (Figs. 10–12).
+var Methods = []string{"accqoc_n3d3", "accqoc_n3d5", "paqoc_m0", "paqoc_mtuned", "paqoc_minf"}
+
+// MethodResult carries one method's metrics on one benchmark.
+type MethodResult struct {
+	Method       string
+	Latency      float64 // critical-path latency, dt
+	TotalLatency float64
+	CompileCost  float64 // modelled pulse-generation seconds
+	ESP          float64
+	NumBlocks    int
+}
+
+// RunMethods executes all five compared methods on a physical circuit.
+// Every method gets a fresh pulse database so compile costs are
+// independent, exactly as separate compiler invocations would be.
+func (p *Platform) RunMethods(phys *circuit.Circuit) ([]MethodResult, error) {
+	var out []MethodResult
+
+	for _, depth := range []int{3, 5} {
+		gen := latency.NewModel()
+		gen.Topo = p.Topo
+		// Permuted-qubit pulse reuse is a PAQOC contribution (§V-B); the
+		// AccQOC baseline relies on exact and similarity matches only.
+		gen.DB.DetectPermutations = false
+		opts := accqoc.Options{MaxQubits: 3, Depth: depth, FidelityTarget: p.Fidelity}
+		res, err := accqoc.Compile(phys, gen, opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, MethodResult{
+			Method:       fmt.Sprintf("accqoc_n3d%d", depth),
+			Latency:      res.Latency,
+			TotalLatency: res.TotalLatency,
+			CompileCost:  res.CompileCost,
+			ESP:          res.ESP,
+			NumBlocks:    res.NumBlocks,
+		})
+	}
+
+	for _, m := range []int{0, mTunedSentinel, paqoc.MInf} {
+		cfg := paqoc.DefaultConfig()
+		cfg.FidelityTarget = p.Fidelity
+		// Rank analytically throughout (§III-B's observations exist to
+		// avoid pulse generation during the search); pulses are emitted
+		// once for the final customized gates. Probing is covered by the
+		// ablation benchmarks.
+		cfg.ProbeCaseII = false
+		name := ""
+		switch m {
+		case 0:
+			cfg.M = 0
+			name = "paqoc_m0"
+		case mTunedSentinel:
+			patterns := mining.Mine(phys, mining.DefaultOptions())
+			cfg.M = mining.TunedM(phys, patterns, cfg.MinSupport)
+			name = "paqoc_mtuned"
+		default:
+			cfg.M = paqoc.MInf
+			name = "paqoc_minf"
+		}
+		comp := paqoc.New(nil, p.Topo, cfg)
+		res, err := comp.Compile(phys)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, MethodResult{
+			Method:       name,
+			Latency:      res.Latency,
+			TotalLatency: res.TotalLatency,
+			CompileCost:  res.CompileCost,
+			ESP:          res.ESP,
+			NumBlocks:    res.NumBlocks,
+		})
+	}
+	return out, nil
+}
+
+const mTunedSentinel = -2
+
+// BenchRow pairs a benchmark with its per-method results.
+type BenchRow struct {
+	Bench   string
+	Results []MethodResult
+}
+
+// RunAll evaluates all given benchmarks under all methods.
+func (p *Platform) RunAll(specs []bench.Spec) ([]BenchRow, error) {
+	var rows []BenchRow
+	for _, s := range specs {
+		phys, err := p.Physical(s)
+		if err != nil {
+			return nil, err
+		}
+		res, err := p.RunMethods(phys)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", s.Name, err)
+		}
+		rows = append(rows, BenchRow{Bench: s.Name, Results: res})
+	}
+	return rows, nil
+}
+
+// find returns the result for a method within a row.
+func (r BenchRow) find(method string) MethodResult {
+	for _, m := range r.Results {
+		if m.Method == method {
+			return m
+		}
+	}
+	return MethodResult{}
+}
+
+// printNormalized renders a metric table normalized to accqoc_n3d3.
+func printNormalized(w io.Writer, rows []BenchRow, metric func(MethodResult) float64, title string, higherBetter bool) {
+	fmt.Fprintf(w, "%s (normalized to accqoc_n3d3)\n", title)
+	fmt.Fprintf(w, "%-16s", "bench")
+	for _, m := range Methods {
+		fmt.Fprintf(w, " %14s", m)
+	}
+	fmt.Fprintln(w)
+	sums := make([]float64, len(Methods))
+	for _, row := range rows {
+		base := metric(row.find("accqoc_n3d3"))
+		fmt.Fprintf(w, "%-16s", row.Bench)
+		for mi, m := range Methods {
+			v := metric(row.find(m))
+			norm := 0.0
+			if base > 0 {
+				norm = v / base
+			}
+			sums[mi] += norm
+			fmt.Fprintf(w, " %14.3f", norm)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "%-16s", "mean")
+	for mi := range Methods {
+		fmt.Fprintf(w, " %14.3f", sums[mi]/float64(len(rows)))
+	}
+	fmt.Fprintln(w)
+	_ = higherBetter // direction is annotated by the caller's title
+}

@@ -1,0 +1,25 @@
+package experiments
+
+import "testing"
+
+// TestTableIIFullSmall runs the real-GRAPE, full-pulse-simulation Table II
+// protocol on the two fastest benchmarks. It doubles as the regression
+// test for §V-B permuted-schedule reuse: before channel remapping, simon's
+// coherent fidelity collapsed to ~0.04%.
+func TestTableIIFullSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pulse simulation is slow")
+	}
+	rows, err := TableIIFull(DefaultPlatform(), []string{"simon", "bb84"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Coherent < 0.98 {
+			t.Errorf("%s: coherent fidelity %.4f below the per-gate target product", r.Bench, r.Coherent)
+		}
+		if r.WithDephasing >= r.Coherent {
+			t.Errorf("%s: dephasing should reduce fidelity", r.Bench)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"paqoc/internal/noise"
+)
+
+// TestTableIINoisyShape runs the density-matrix T1/T2 Table II and asserts
+// the paper's ranking: a paqoc variant is best on every benchmark.
+func TestTableIINoisyShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("density-matrix sweep skipped in -short mode")
+	}
+	rows, err := TableIINoisy(DefaultPlatform(), noise.NISQDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(TableIIBenches) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		base := r.Fidelity["accqoc_n3d3"]
+		best := ""
+		bestF := -1.0
+		for m, f := range r.Fidelity {
+			if math.IsNaN(f) {
+				continue
+			}
+			if f <= 0 || f > 1 {
+				t.Errorf("%s/%s: fidelity %g out of range", r.Bench, m, f)
+			}
+			if f > bestF {
+				best, bestF = m, f
+			}
+		}
+		if best == "" {
+			t.Fatalf("%s: no method fit the density-matrix budget", r.Bench)
+		}
+		if best == "accqoc_n3d3" || best == "accqoc_n3d5" {
+			t.Errorf("%s: baseline %s won (%.4f vs paqoc_m0 %.4f); paper has paqoc best everywhere",
+				r.Bench, best, bestF, r.Fidelity["paqoc_m0"])
+		}
+		if !math.IsNaN(base) && r.Fidelity["paqoc_m0"] < base {
+			t.Errorf("%s: paqoc_m0 below accqoc_n3d3", r.Bench)
+		}
+	}
+}

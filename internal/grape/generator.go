@@ -1,0 +1,182 @@
+package grape
+
+import (
+	"fmt"
+	"time"
+
+	"paqoc/internal/hamiltonian"
+	"paqoc/internal/pulse"
+	"paqoc/internal/topology"
+)
+
+// Generator adapts GRAPE to the pulse.Generator interface used by PAQOC:
+// it consolidates a customized gate into one unitary, consults the pulse
+// database (exact and permuted hits return instantly; near misses warm the
+// initial guess), and otherwise runs the minimum-time search.
+type Generator struct {
+	Opts Options
+	DB   *pulse.DB
+	// Topo optionally restricts which qubit pairs of a customized gate are
+	// XY-coupled (the device coupling graph). When nil, every pair within
+	// the group is coupled.
+	Topo *topology.Topology
+	// SimilarityDist bounds the similarity search for initial guesses; 0
+	// disables warm starts.
+	SimilarityDist float64
+}
+
+// NewGenerator returns a GRAPE-backed generator with a fresh pulse DB.
+func NewGenerator(opts Options) *Generator {
+	return &Generator{Opts: opts, DB: pulse.NewDB(), SimilarityDist: 0.8}
+}
+
+var _ pulse.Generator = (*Generator)(nil)
+
+// Generate produces pulses for one customized gate.
+func (g *Generator) Generate(cg *pulse.CustomGate, fidelityTarget float64) (*pulse.Generated, error) {
+	u, err := cg.Unitary()
+	if err != nil {
+		return nil, fmt.Errorf("grape: %v", err)
+	}
+	if g.DB != nil {
+		if hit, perm, ok := g.DB.Lookup(u); ok {
+			out := *hit
+			out.CacheHit = true
+			out.Cost = 0
+			if perm == nil {
+				return &out, nil
+			}
+			// Permuted hit (§V-B): the stored schedule realizes the
+			// permuted unitary, so reuse requires relabelling the control
+			// channels. If the permuted channels don't all exist (coupling
+			// graphs differ), fall through and regenerate.
+			if sched := remapSchedule(hit.Schedule, perm, g.couplings(cg)); sched != nil {
+				out.Schedule = sched
+				return &out, nil
+			}
+		}
+	}
+
+	opts := g.Opts
+	opts.fill()
+	if fidelityTarget > 0 {
+		opts.TargetFidelity = fidelityTarget
+	}
+	// Larger groups navigate a bigger control landscape; give the
+	// optimizer proportionally more iterations (3-qubit unitaries such as
+	// Toffoli need roughly 3× the budget of a CX to converge).
+	if n := cg.NumQubits(); n > 2 {
+		opts.MaxIter *= n
+	}
+	if g.DB != nil && g.SimilarityDist > 0 {
+		if e, _, ok := g.DB.Nearest(u, g.SimilarityDist); ok && e.Generated.Schedule != nil {
+			opts.InitialGuess = e.Generated.Schedule
+		}
+	}
+
+	sys := hamiltonian.XYTransmon(cg.NumQubits(), g.couplings(cg))
+	start := time.Now()
+	sched, latency, fid, err := MinimumTime(sys, u, opts)
+	if err != nil {
+		return nil, err
+	}
+	gen := &pulse.Generated{
+		Schedule: sched,
+		Latency:  latency,
+		Fidelity: fid,
+		Error:    1 - fid,
+		Cost:     time.Since(start).Seconds(),
+	}
+	if g.DB != nil {
+		g.DB.Store(u, gen)
+	}
+	return gen, nil
+}
+
+// couplings maps the group's physical-qubit adjacency onto local wires.
+func (g *Generator) couplings(cg *pulse.CustomGate) [][2]int {
+	n := cg.NumQubits()
+	if g.Topo == nil {
+		return hamiltonian.AllPairs(n)
+	}
+	var pairs [][2]int
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			if g.Topo.Connected(cg.Qubits[a], cg.Qubits[b]) {
+				pairs = append(pairs, [2]int{a, b})
+			}
+		}
+	}
+	if len(pairs) == 0 && n > 1 {
+		// Disconnected groups cannot entangle; fall back to a chain so the
+		// optimizer still has an interaction term (the framework should
+		// never produce such groups, but stay robust).
+		pairs = hamiltonian.LinearChain(n)
+	}
+	return pairs
+}
+
+// remapSchedule relabels a stored schedule's channels for a permuted-hit
+// reuse: stored local qubit i plays the role of the new gate's local qubit
+// perm[i]. The output channel order matches XYTransmon(n, pairs) for the
+// new gate so it can be replayed directly on that system. Returns nil when
+// a required channel does not exist in the stored schedule.
+func remapSchedule(src *pulse.Schedule, perm []int, pairs [][2]int) *pulse.Schedule {
+	if src == nil {
+		return nil
+	}
+	byName := make(map[string][]float64, len(src.Channels))
+	for k, name := range src.Channels {
+		byName[name] = src.Amps[k]
+	}
+	// Build the target system's channel list.
+	n := len(perm)
+	sys := hamiltonian.XYTransmon(n, pairs)
+	// inverse permutation: new qubit q ← stored qubit inv[q].
+	inv := make([]int, n)
+	for i, p := range perm {
+		inv[p] = i
+	}
+	out := &pulse.Schedule{SliceDt: src.SliceDt}
+	for _, c := range sys.Controls {
+		var srcName string
+		var q, a, b int
+		switch {
+		case scanChannel(c.Name, "d%d.x", &q):
+			srcName = fmt.Sprintf("d%d.x", inv[q])
+		case scanChannel(c.Name, "d%d.y", &q):
+			srcName = fmt.Sprintf("d%d.y", inv[q])
+		case scanChannel2(c.Name, &a, &b):
+			sa, sb := inv[a], inv[b]
+			if sa > sb {
+				sa, sb = sb, sa
+			}
+			srcName = fmt.Sprintf("c%d.%d.xy", sa, sb)
+		default:
+			return nil
+		}
+		samples, ok := byName[srcName]
+		if !ok {
+			return nil
+		}
+		out.Channels = append(out.Channels, c.Name)
+		out.Amps = append(out.Amps, append([]float64(nil), samples...))
+	}
+	return out
+}
+
+func scanChannel(name, format string, q *int) bool {
+	var rest string
+	k, err := fmt.Sscanf(name, format+"%s", q, &rest)
+	if err == nil && k >= 1 && rest == "" {
+		return true
+	}
+	// Sscanf with trailing %s fails on exact match; retry plain.
+	k, err = fmt.Sscanf(name, format, q)
+	return err == nil && k == 1 && fmt.Sprintf(format, *q) == name
+}
+
+func scanChannel2(name string, a, b *int) bool {
+	k, err := fmt.Sscanf(name, "c%d.%d.xy", a, b)
+	return err == nil && k == 2 && fmt.Sprintf("c%d.%d.xy", *a, *b) == name
+}

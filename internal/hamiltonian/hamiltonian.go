@@ -1,0 +1,146 @@
+// Package hamiltonian models the device per the paper's Eq. (1):
+//
+//	H(t) = H0 + Σ_k α_k(t)·H_k
+//
+// with a drift term H0 and time-dependent control Hamiltonians H_k whose
+// amplitudes α_k(t) are bounded by the hardware. The evaluation platform
+// (§VI-c) is a transmon architecture with XY interaction: per-qubit X and Y
+// drives bounded at 5·μmax and per-pair XY couplings bounded at
+// μmax = 0.02 GHz. Times are measured in the device sample unit dt
+// (2/9 ns, the IBM convention), and amplitudes in rad/dt, so an amplitude
+// of a rotates the Bloch vector at a rad per dt.
+package hamiltonian
+
+import (
+	"fmt"
+	"math"
+
+	"paqoc/internal/linalg"
+	"paqoc/internal/quantum"
+)
+
+// Physical constants of the platform (§VI-c).
+const (
+	// DtNanoseconds is the duration of one dt sample (IBM convention).
+	DtNanoseconds = 2.0 / 9.0
+	// MuMaxGHz is the XY-interaction control-field limit, 0.02 GHz.
+	MuMaxGHz = 0.02
+	// SingleQubitFactor scales the single-qubit rotation field: 5·μmax.
+	SingleQubitFactor = 5.0
+)
+
+// CouplingBound is μmax expressed in rad/dt: 2π·0.02 GHz · dt.
+var CouplingBound = 2 * math.Pi * MuMaxGHz * DtNanoseconds
+
+// DriveBound is the single-qubit drive limit in rad/dt: 5·μmax.
+var DriveBound = SingleQubitFactor * CouplingBound
+
+// Control is one controllable term α_k(t)·H_k.
+type Control struct {
+	Name  string
+	H     *linalg.Matrix // Hermitian generator on the full system space
+	Bound float64        // |α_k| ≤ Bound, in rad/dt
+}
+
+// System is a concrete instance of Eq. (1) for a (sub)set of qubits.
+type System struct {
+	NumQubits int
+	Dim       int
+	Drift     *linalg.Matrix
+	Controls  []Control
+}
+
+// XYTransmon builds the paper's platform Hamiltonian for n qubits: X and Y
+// drives on every qubit and an XY (flip-flop) interaction on every coupled
+// pair. The rotating-frame drift is zero. pairs lists coupled qubit index
+// pairs local to this system (0-based).
+func XYTransmon(n int, pairs [][2]int) *System {
+	if n <= 0 {
+		panic("hamiltonian: need at least one qubit")
+	}
+	dim := 1 << n
+	sys := &System{NumQubits: n, Dim: dim, Drift: linalg.New(dim, dim)}
+
+	half := complex(0.5, 0)
+	for q := 0; q < n; q++ {
+		sys.Controls = append(sys.Controls, Control{
+			Name:  fmt.Sprintf("d%d.x", q),
+			H:     quantum.Embed(quantum.MatX.Scale(half), []int{q}, n),
+			Bound: DriveBound,
+		})
+		sys.Controls = append(sys.Controls, Control{
+			Name:  fmt.Sprintf("d%d.y", q),
+			H:     quantum.Embed(quantum.MatY.Scale(half), []int{q}, n),
+			Bound: DriveBound,
+		})
+	}
+	for _, p := range pairs {
+		if p[0] == p[1] || p[0] < 0 || p[1] < 0 || p[0] >= n || p[1] >= n {
+			panic(fmt.Sprintf("hamiltonian: bad coupling pair %v", p))
+		}
+		xx := quantum.MatX.Kron(quantum.MatX)
+		yy := quantum.MatY.Kron(quantum.MatY)
+		gen := xx.Add(yy).Scale(half)
+		sys.Controls = append(sys.Controls, Control{
+			Name:  fmt.Sprintf("c%d.%d.xy", p[0], p[1]),
+			H:     quantum.Embed(gen, []int{p[0], p[1]}, n),
+			Bound: CouplingBound,
+		})
+	}
+	return sys
+}
+
+// LinearChain returns the coupling pairs of a 1-D chain over n qubits —
+// the interaction graph of a customized gate whose qubits sit on a line.
+func LinearChain(n int) [][2]int {
+	var pairs [][2]int
+	for i := 0; i+1 < n; i++ {
+		pairs = append(pairs, [2]int{i, i + 1})
+	}
+	return pairs
+}
+
+// AllPairs returns every qubit pair; used when the merged gate's qubits
+// form a clique on the device.
+func AllPairs(n int) [][2]int {
+	var pairs [][2]int
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			pairs = append(pairs, [2]int{a, b})
+		}
+	}
+	return pairs
+}
+
+// Hamiltonian assembles H(t) for one vector of control amplitudes.
+func (s *System) Hamiltonian(amps []float64) *linalg.Matrix {
+	if len(amps) != len(s.Controls) {
+		panic(fmt.Sprintf("hamiltonian: %d amps for %d controls", len(amps), len(s.Controls)))
+	}
+	h := s.Drift.Clone()
+	for k, c := range s.Controls {
+		if amps[k] == 0 {
+			continue
+		}
+		h.AddInPlace(c.H, complex(amps[k], 0))
+	}
+	return h
+}
+
+// Propagator returns the unitary e^{-i·H(amps)·dt} for one slice of
+// duration dt.
+func (s *System) Propagator(amps []float64, dt float64) *linalg.Matrix {
+	return linalg.ExpmHermitian(s.Hamiltonian(amps), dt)
+}
+
+// ClipAmps clamps each amplitude to its control's bound, in place.
+func (s *System) ClipAmps(amps []float64) {
+	for k := range amps {
+		b := s.Controls[k].Bound
+		if amps[k] > b {
+			amps[k] = b
+		} else if amps[k] < -b {
+			amps[k] = -b
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package hamiltonian
+
+import (
+	"math"
+	"testing"
+
+	"paqoc/internal/linalg"
+	"paqoc/internal/quantum"
+)
+
+func TestXYTransmonControlCount(t *testing.T) {
+	sys := XYTransmon(3, LinearChain(3))
+	// 3 qubits × (X,Y) + 2 couplings.
+	if got := len(sys.Controls); got != 8 {
+		t.Errorf("controls = %d, want 8", got)
+	}
+	if sys.Dim != 8 {
+		t.Errorf("dim = %d", sys.Dim)
+	}
+}
+
+func TestControlsAreHermitian(t *testing.T) {
+	sys := XYTransmon(2, AllPairs(2))
+	for _, c := range sys.Controls {
+		if !c.H.IsHermitian(1e-12) {
+			t.Errorf("control %s is not Hermitian", c.Name)
+		}
+	}
+	if !sys.Drift.IsHermitian(1e-12) {
+		t.Error("drift is not Hermitian")
+	}
+}
+
+func TestBounds(t *testing.T) {
+	sys := XYTransmon(2, AllPairs(2))
+	for _, c := range sys.Controls {
+		switch c.Name[0] {
+		case 'd':
+			if math.Abs(c.Bound-DriveBound) > 1e-15 {
+				t.Errorf("%s bound %g", c.Name, c.Bound)
+			}
+		case 'c':
+			if math.Abs(c.Bound-CouplingBound) > 1e-15 {
+				t.Errorf("%s bound %g", c.Name, c.Bound)
+			}
+		}
+	}
+	// 5× relationship per §VI-c.
+	if math.Abs(DriveBound/CouplingBound-5) > 1e-12 {
+		t.Error("drive bound is not 5× coupling bound")
+	}
+}
+
+func TestPropagatorUnitary(t *testing.T) {
+	sys := XYTransmon(2, LinearChain(2))
+	amps := make([]float64, len(sys.Controls))
+	for i := range amps {
+		amps[i] = sys.Controls[i].Bound * 0.7
+	}
+	u := sys.Propagator(amps, 3.0)
+	if !u.IsUnitary(1e-9) {
+		t.Error("propagator not unitary")
+	}
+}
+
+func TestXDriveRealizesXRotation(t *testing.T) {
+	// Driving only σx/2 at amplitude a for time t gives RX(a·t).
+	sys := XYTransmon(1, nil)
+	amps := []float64{DriveBound, 0}
+	tTot := math.Pi / DriveBound // rotation angle π → X gate up to phase
+	u := sys.Propagator(amps, tTot)
+	if d := linalg.GlobalPhaseDistance(u, quantum.MatX); d > 1e-9 {
+		t.Errorf("max-rate X drive does not produce X: distance %g", d)
+	}
+	// The paper-scale sanity check: a π rotation takes ≈ 22.5 dt.
+	if tTot < 20 || tTot > 25 {
+		t.Errorf("π rotation time %g dt outside expected range", tTot)
+	}
+}
+
+func TestXYCouplingRealizesISwap(t *testing.T) {
+	// Driving only the XY coupling at g for time t = (π/2)/g yields iSWAP
+	// up to phase conventions: e^{-i (π/4)(XX+YY)} maps 01↔10 with -i.
+	sys := XYTransmon(2, LinearChain(2))
+	amps := make([]float64, len(sys.Controls))
+	amps[len(amps)-1] = CouplingBound
+	tTot := (math.Pi / 2) / CouplingBound
+	u := sys.Propagator(amps, tTot)
+	// e^{-iπ/4(XX+YY)} = diag-block [[1], [[0,-i],[-i,0]], [1]]
+	want := linalg.New(4, 4)
+	want.Set(0, 0, 1)
+	want.Set(3, 3, 1)
+	want.Set(1, 2, complex(0, -1))
+	want.Set(2, 1, complex(0, -1))
+	if d := linalg.GlobalPhaseDistance(u, want); d > 1e-9 {
+		t.Errorf("XY evolution mismatch: %g\n%v", d, u)
+	}
+	// iSWAP interaction time ≈ 56 dt on this platform.
+	if tTot < 50 || tTot > 62 {
+		t.Errorf("iSWAP time %g dt outside expected range", tTot)
+	}
+}
+
+func TestClipAmps(t *testing.T) {
+	sys := XYTransmon(1, nil)
+	amps := []float64{10, -10}
+	sys.ClipAmps(amps)
+	if amps[0] != DriveBound || amps[1] != -DriveBound {
+		t.Errorf("clip failed: %v", amps)
+	}
+}
+
+func TestHamiltonianValidation(t *testing.T) {
+	sys := XYTransmon(1, nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for wrong amp count")
+		}
+	}()
+	sys.Hamiltonian([]float64{1})
+}
+
+func TestBadCouplingPair(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for bad pair")
+		}
+	}()
+	XYTransmon(2, [][2]int{{0, 2}})
+}
+
+func TestLinearChainAndAllPairs(t *testing.T) {
+	if got := len(LinearChain(4)); got != 3 {
+		t.Errorf("LinearChain(4) = %d pairs", got)
+	}
+	if got := len(AllPairs(4)); got != 6 {
+		t.Errorf("AllPairs(4) = %d pairs", got)
+	}
+	if LinearChain(1) != nil {
+		t.Error("LinearChain(1) should be empty")
+	}
+}
+
+func TestZZCrosstalkDrift(t *testing.T) {
+	base := XYTransmon(2, LinearChain(2))
+	noisy := base.WithZZCrosstalk(LinearChain(2), TypicalZZCrosstalk)
+	if noisy.Drift.MaxAbs() == 0 {
+		t.Fatal("crosstalk drift missing")
+	}
+	if !noisy.Drift.IsHermitian(1e-12) {
+		t.Error("crosstalk drift not Hermitian")
+	}
+	if base.Drift.MaxAbs() != 0 {
+		t.Error("WithZZCrosstalk mutated the base system")
+	}
+	ideal := noisy.IdealTwin()
+	if ideal.Drift.MaxAbs() != 0 {
+		t.Error("IdealTwin should have zero drift")
+	}
+	if len(ideal.Controls) != len(noisy.Controls) {
+		t.Error("IdealTwin lost controls")
+	}
+}
+
+func TestZZCrosstalkDephasesIdlePair(t *testing.T) {
+	// With no drive, the noisy system drifts away from identity.
+	noisy := XYTransmon(2, LinearChain(2)).WithZZCrosstalk(LinearChain(2), TypicalZZCrosstalk)
+	amps := make([]float64, len(noisy.Controls))
+	u := noisy.Propagator(amps, 200)
+	if d := linalg.GlobalPhaseDistance(u, linalg.Identity(4)); d < 1e-3 {
+		t.Errorf("idle crosstalk evolution suspiciously close to identity: %g", d)
+	}
+}

@@ -1,0 +1,272 @@
+// Package latency provides the analytical pulse-latency model of §III-B:
+// a fast, deterministic surrogate for GRAPE that obeys the paper's
+// Observations 1 and 2 and is calibrated against the real optimizer in
+// internal/grape. Its core is the Weyl-chamber (canonical) decomposition of
+// two-qubit unitaries, from which the minimum XY-interaction time follows:
+// under a bounded flip-flop coupling g(XX+YY)/2 with fast local drives, a
+// class (c1 ≥ c2 ≥ c3) needs interaction time (2·c1 + c3)/g — π/(2g) for
+// CX and iSWAP, 3π/(4g) for SWAP — which matches our GRAPE measurements.
+package latency
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"sort"
+
+	"paqoc/internal/linalg"
+)
+
+// magicBasis is the Bell ("magic") basis transform M: canonical two-qubit
+// gates are diagonal in this basis, so the spectrum of (M†UM)ᵀ(M†UM) is a
+// local-gate invariant that pins down the Weyl coordinates.
+var magicBasis = func() *linalg.Matrix {
+	s := complex(1/math.Sqrt2, 0)
+	i := complex(0, 1/math.Sqrt2)
+	return linalg.FromRows([][]complex128{
+		{s, 0, 0, i},
+		{0, i, s, 0},
+		{0, i, -s, 0},
+		{s, 0, 0, -i},
+	})
+}()
+
+// WeylCoordinates returns the canonical-class coordinates (c1 ≥ c2 ≥ c3,
+// each in [0, π/2]) of a 4×4 unitary: u is locally equivalent to
+// exp(-i(c1·XX + c2·YY + c3·ZZ)). Among spectrum-consistent chamber points
+// it returns the one with the smallest XY-interaction time, which is the
+// quantity the latency model consumes.
+func WeylCoordinates(u *linalg.Matrix) ([3]float64, error) {
+	if u.Rows != 4 || u.Cols != 4 {
+		return [3]float64{}, fmt.Errorf("latency: WeylCoordinates wants a 4x4 unitary, got %dx%d", u.Rows, u.Cols)
+	}
+	// Normalize to SU(4).
+	det := det4(u)
+	if cmplx.Abs(det) < 1e-9 {
+		return [3]float64{}, fmt.Errorf("latency: matrix is singular")
+	}
+	su := u.Scale(1 / phaseRoot4(det))
+
+	ub := magicBasis.Dagger().Mul(su).Mul(magicBasis)
+	m := ub.Transpose().Mul(ub)
+	eig, err := eigenvalues4(m)
+	if err != nil {
+		return [3]float64{}, err
+	}
+	want := sortedPhases(eig)
+
+	// Search the Weyl chamber for coordinates whose canonical spectrum
+	// {exp(-2iλ_k(c))} matches, where the λ's are the Bell-state
+	// eigenvalues of c1·XX + c2·YY + c3·ZZ.
+	best := [3]float64{}
+	bestScore := math.Inf(1)
+	bestTime := math.Inf(1)
+	evaluate := func(c [3]float64) {
+		score := spectrumDistance(c, want)
+		t := 2*c[0] + c[2] // interaction-time objective, c sorted desc
+		const tol = 1e-4
+		if score < bestScore-tol || (score < bestScore+tol && t < bestTime) {
+			if score < bestScore {
+				bestScore = score
+			}
+			best, bestTime = c, t
+		}
+	}
+
+	const steps = 24
+	for i := 0; i <= steps; i++ {
+		for j := 0; j <= i; j++ {
+			for k := 0; k <= j; k++ {
+				c := [3]float64{
+					float64(i) * math.Pi / 2 / steps,
+					float64(j) * math.Pi / 2 / steps,
+					float64(k) * math.Pi / 2 / steps,
+				}
+				evaluate(c)
+			}
+		}
+	}
+	// Two refinement sweeps around the incumbent.
+	span := math.Pi / 2 / steps
+	for pass := 0; pass < 3; pass++ {
+		base := best
+		for di := -4; di <= 4; di++ {
+			for dj := -4; dj <= 4; dj++ {
+				for dk := -4; dk <= 4; dk++ {
+					c := [3]float64{
+						clampChamber(base[0] + float64(di)*span/4),
+						clampChamber(base[1] + float64(dj)*span/4),
+						clampChamber(base[2] + float64(dk)*span/4),
+					}
+					sort.Sort(sort.Reverse(sort.Float64Slice(c[:])))
+					evaluate(c)
+				}
+			}
+		}
+		span /= 4
+	}
+	if bestScore > 0.05 {
+		return best, fmt.Errorf("latency: Weyl search residual %.4f too large (non-unitary input?)", bestScore)
+	}
+	return best, nil
+}
+
+// InteractionTime returns the minimum XY-coupling time, in units of 1/g,
+// needed to realize the canonical class c (sorted descending): 2·c1 + c3.
+func InteractionTime(c [3]float64) float64 { return 2*c[0] + c[2] }
+
+// LocalContent measures how unbalanced the class is between the two
+// XY-native axes; classes with c1 ≠ c2 need echo sequences with extra
+// local rotations (CX does, iSWAP does not).
+func LocalContent(c [3]float64) float64 { return c[0] - c[1] }
+
+func clampChamber(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > math.Pi/2 {
+		return math.Pi / 2
+	}
+	return v
+}
+
+// spectrumDistance compares the canonical spectrum of c against the target
+// phases, minimizing over the four global-phase rotations i^k.
+func spectrumDistance(c [3]float64, want []float64) float64 {
+	l1 := c[0] - c[1] + c[2]
+	l2 := -c[0] + c[1] + c[2]
+	l3 := c[0] + c[1] - c[2]
+	l4 := -(c[0] + c[1] + c[2])
+	base := []float64{-2 * l1, -2 * l2, -2 * l3, -2 * l4}
+	bestD := math.Inf(1)
+	// The SU(4) representative is fixed up to a factor i^k, so m is fixed
+	// up to (i^k)² = ±1: allow only the two sign rotations (allowing all
+	// four would conflate e.g. SWAP with the identity class).
+	for k := 0; k < 2; k++ {
+		shift := float64(k) * math.Pi
+		got := make([]float64, 4)
+		for i, p := range base {
+			got[i] = normAngle(p + shift)
+		}
+		sort.Float64s(got)
+		if d := phaseSetDistance(got, want); d < bestD {
+			bestD = d
+		}
+	}
+	return bestD
+}
+
+// phaseSetDistance sums squared chord distances between two sorted phase
+// multisets, minimizing over cyclic alignment (phases wrap at ±π).
+func phaseSetDistance(a, b []float64) float64 {
+	best := math.Inf(1)
+	n := len(a)
+	for off := 0; off < n; off++ {
+		var s float64
+		for i := 0; i < n; i++ {
+			d := 2 * math.Sin(normAngle(a[(i+off)%n]-b[i])/2)
+			s += d * d
+		}
+		if s < best {
+			best = s
+		}
+	}
+	return best
+}
+
+func normAngle(a float64) float64 {
+	for a > math.Pi {
+		a -= 2 * math.Pi
+	}
+	for a <= -math.Pi {
+		a += 2 * math.Pi
+	}
+	return a
+}
+
+func sortedPhases(eig []complex128) []float64 {
+	out := make([]float64, len(eig))
+	for i, v := range eig {
+		out[i] = cmplx.Phase(v)
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// phaseRoot4 returns a fourth root of z with |z| folded in, used for SU(4)
+// normalization.
+func phaseRoot4(z complex128) complex128 {
+	r := math.Pow(cmplx.Abs(z), 0.25)
+	return cmplx.Rect(r, cmplx.Phase(z)/4)
+}
+
+// det4 computes the determinant of a 4×4 matrix by cofactor expansion.
+func det4(m *linalg.Matrix) complex128 {
+	at := func(r, c int) complex128 { return m.At(r, c) }
+	det3 := func(r0, r1, r2, c0, c1, c2 int) complex128 {
+		return at(r0, c0)*(at(r1, c1)*at(r2, c2)-at(r1, c2)*at(r2, c1)) -
+			at(r0, c1)*(at(r1, c0)*at(r2, c2)-at(r1, c2)*at(r2, c0)) +
+			at(r0, c2)*(at(r1, c0)*at(r2, c1)-at(r1, c1)*at(r2, c0))
+	}
+	return at(0, 0)*det3(1, 2, 3, 1, 2, 3) -
+		at(0, 1)*det3(1, 2, 3, 0, 2, 3) +
+		at(0, 2)*det3(1, 2, 3, 0, 1, 3) -
+		at(0, 3)*det3(1, 2, 3, 0, 1, 2)
+}
+
+// eigenvalues4 finds the eigenvalues of a 4×4 complex matrix via its
+// characteristic polynomial (Faddeev–LeVerrier) and Durand–Kerner root
+// iteration. Adequate for the unitary inputs used here.
+func eigenvalues4(m *linalg.Matrix) ([]complex128, error) {
+	// Faddeev–LeVerrier: p(x) = x⁴ + c3x³ + c2x² + c1x + c0.
+	i4 := linalg.Identity(4)
+	m1 := m.Clone()
+	c3 := -m1.Trace()
+	m2 := m.Mul(m1.Add(i4.Scale(c3)))
+	c2 := -m2.Trace() / 2
+	m3 := m.Mul(m2.Add(i4.Scale(c2)))
+	c1 := -m3.Trace() / 3
+	m4 := m.Mul(m3.Add(i4.Scale(c1)))
+	c0 := -m4.Trace() / 4
+
+	p := func(x complex128) complex128 {
+		return (((x+c3)*x+c2)*x+c1)*x + c0
+	}
+	// Durand–Kerner with the standard (0.4+0.9i)^k seeds.
+	roots := make([]complex128, 4)
+	seed := complex(0.4, 0.9)
+	roots[0] = seed
+	for i := 1; i < 4; i++ {
+		roots[i] = roots[i-1] * seed
+	}
+	for iter := 0; iter < 200; iter++ {
+		maxStep := 0.0
+		for i := range roots {
+			den := complex(1, 0)
+			for j := range roots {
+				if j != i {
+					den *= roots[i] - roots[j]
+				}
+			}
+			if cmplx.Abs(den) < 1e-18 {
+				roots[i] += complex(1e-6, 1e-6)
+				continue
+			}
+			step := p(roots[i]) / den
+			roots[i] -= step
+			if s := cmplx.Abs(step); s > maxStep {
+				maxStep = s
+			}
+		}
+		if maxStep < 1e-13 {
+			return roots, nil
+		}
+	}
+	// Verify residuals rather than failing on slow convergence.
+	for _, r := range roots {
+		if cmplx.Abs(p(r)) > 1e-6 {
+			return nil, fmt.Errorf("latency: eigenvalue iteration did not converge")
+		}
+	}
+	return roots, nil
+}

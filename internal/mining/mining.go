@@ -1,0 +1,315 @@
+// Package mining implements the frequent-subcircuits miner of §III-A: it
+// views the circuit as a labeled directed graph (nodes: gates labeled with
+// operation + angle, symbolic for parameterized circuits; edges: shared
+// qubits labeled with the operand roles on both ends, so control/target
+// distinctions disambiguate look-alike patterns, Fig. 5), enumerates
+// connected subcircuits up to a size cap, canonicalizes them, and counts
+// recurrences. Selected patterns become APA-basis gates.
+package mining
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"paqoc/internal/circuit"
+)
+
+// Options bounds the search.
+type Options struct {
+	MaxGates   int // pattern size cap (default 6)
+	MaxQubits  int // the paper's maxN (default 3)
+	MinSupport int // minimum disjoint occurrences (default 2)
+	EnumLimit  int // safety cap on enumerated subcircuits (default 300000)
+}
+
+// DefaultOptions mirrors the paper's evaluation (maxN = 3).
+func DefaultOptions() Options {
+	return Options{MaxGates: 6, MaxQubits: 3, MinSupport: 2, EnumLimit: 300000}
+}
+
+func (o *Options) fill() {
+	if o.MaxGates == 0 {
+		o.MaxGates = 6
+	}
+	if o.MaxQubits == 0 {
+		o.MaxQubits = 3
+	}
+	if o.MinSupport == 0 {
+		o.MinSupport = 2
+	}
+	if o.EnumLimit == 0 {
+		o.EnumLimit = 300000
+	}
+}
+
+// Pattern is one recurring subcircuit.
+type Pattern struct {
+	Signature  string
+	GateCount  int
+	QubitCount int
+	// Embeddings are the gate-index sets realizing the pattern, sorted
+	// ascending within each set; sets may overlap each other.
+	Embeddings [][]int
+	// Support is the size of a maximal greedy disjoint sub-family.
+	Support int
+}
+
+// Coverage is the number of circuit gates covered by disjoint embeddings.
+func (p *Pattern) Coverage() int { return p.Support * p.GateCount }
+
+// Mine enumerates frequent subcircuits of the circuit, returning patterns
+// with at least MinSupport disjoint occurrences and at least two gates,
+// sorted by coverage (descending), ties by signature for determinism.
+func Mine(c *circuit.Circuit, opts Options) []Pattern {
+	opts.fill()
+	enum := newEnumerator(c, opts)
+	bySig := make(map[string][][]int)
+	enum.run(func(set []int) {
+		sig := enum.signature(set)
+		bySig[sig] = append(bySig[sig], append([]int(nil), set...))
+	})
+
+	var out []Pattern
+	for sig, embeds := range bySig {
+		if len(embeds) < opts.MinSupport {
+			continue
+		}
+		sortEmbeddings(embeds)
+		disjoint := greedyDisjoint(embeds)
+		if len(disjoint) < opts.MinSupport {
+			continue
+		}
+		qs := map[int]bool{}
+		for _, gi := range embeds[0] {
+			for _, q := range c.Gates[gi].Qubits {
+				qs[q] = true
+			}
+		}
+		out = append(out, Pattern{
+			Signature:  sig,
+			GateCount:  len(embeds[0]),
+			QubitCount: len(qs),
+			Embeddings: embeds,
+			Support:    len(disjoint),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Coverage() != out[j].Coverage() {
+			return out[i].Coverage() > out[j].Coverage()
+		}
+		return out[i].Signature < out[j].Signature
+	})
+	return out
+}
+
+// enumerator walks connected gate sets.
+type enumerator struct {
+	c        *circuit.Circuit
+	opts     Options
+	adj      [][]int // undirected wire adjacency (immediate neighbours)
+	budget   int
+	overflow bool
+}
+
+func newEnumerator(c *circuit.Circuit, opts Options) *enumerator {
+	dag := circuit.BuildDAG(c)
+	adj := make([][]int, len(c.Gates))
+	for i := range adj {
+		adj[i] = append(append([]int(nil), dag.Preds[i]...), dag.Succs[i]...)
+		sort.Ints(adj[i])
+	}
+	return &enumerator{c: c, opts: opts, adj: adj, budget: opts.EnumLimit}
+}
+
+// run invokes emit for every connected gate set with 2..MaxGates gates and
+// at most MaxQubits qubits, each set exactly once (standard connected-
+// subgraph enumeration anchored at the minimum element).
+func (e *enumerator) run(emit func([]int)) {
+	n := len(e.c.Gates)
+	for s := 0; s < n && !e.overflow; s++ {
+		var cand []int
+		for _, v := range e.adj[s] {
+			if v > s {
+				cand = append(cand, v)
+			}
+		}
+		e.grow([]int{s}, cand, s, emit)
+	}
+}
+
+func (e *enumerator) grow(sub, cand []int, anchor int, emit func([]int)) {
+	if e.overflow {
+		return
+	}
+	if len(sub) >= 2 {
+		e.budget--
+		if e.budget <= 0 {
+			e.overflow = true
+			return
+		}
+		sorted := append([]int(nil), sub...)
+		sort.Ints(sorted)
+		emit(sorted)
+	}
+	if len(sub) >= e.opts.MaxGates {
+		return
+	}
+	inSub := make(map[int]bool, len(sub))
+	for _, v := range sub {
+		inSub[v] = true
+	}
+	for i, v := range cand {
+		if e.qubitsWith(sub, v) > e.opts.MaxQubits {
+			continue
+		}
+		// New candidate list: remaining candidates plus v's unseen
+		// neighbours above the anchor.
+		next := append([]int(nil), cand[i+1:]...)
+		seen := make(map[int]bool, len(next))
+		for _, x := range next {
+			seen[x] = true
+		}
+		for _, x := range cand[:i+1] {
+			seen[x] = true
+		}
+		for _, nb := range e.adj[v] {
+			if nb > anchor && !inSub[nb] && !seen[nb] {
+				next = append(next, nb)
+				seen[nb] = true
+			}
+		}
+		child := make([]int, len(sub)+1)
+		copy(child, sub)
+		child[len(sub)] = v
+		e.grow(child, next, anchor, emit)
+	}
+}
+
+func (e *enumerator) qubitsWith(sub []int, extra int) int {
+	qs := map[int]bool{}
+	for _, gi := range sub {
+		for _, q := range e.c.Gates[gi].Qubits {
+			qs[q] = true
+		}
+	}
+	for _, q := range e.c.Gates[extra].Qubits {
+		qs[q] = true
+	}
+	return len(qs)
+}
+
+// signature canonicalizes a gate set: a deterministic topological order of
+// the induced wire structure with local qubit renaming by first
+// appearance. Each entry records the gate label and its operand wires, so
+// control/target roles (the paper's edge labels) are captured exactly.
+func (e *enumerator) signature(set []int) string {
+	// Induced per-qubit gate order.
+	inSet := make(map[int]bool, len(set))
+	for _, gi := range set {
+		inSet[gi] = true
+	}
+	perQubit := map[int][]int{}
+	for _, gi := range set { // set sorted ascending = program order
+		for _, q := range e.c.Gates[gi].Qubits {
+			perQubit[q] = append(perQubit[q], gi)
+		}
+	}
+	// Induced dependence counts.
+	preds := make(map[int]int, len(set))
+	succs := make(map[int][]int, len(set))
+	for _, chain := range perQubit {
+		for k := 0; k+1 < len(chain); k++ {
+			u, v := chain[k], chain[k+1]
+			preds[v]++
+			succs[u] = append(succs[u], v)
+		}
+	}
+
+	ready := make([]int, 0, len(set))
+	for _, gi := range set {
+		if preds[gi] == 0 {
+			ready = append(ready, gi)
+		}
+	}
+	localQ := map[int]int{}
+	nextQ := 0
+	var parts []string
+	key := func(gi int) string {
+		g := e.c.Gates[gi]
+		ids := make([]string, len(g.Qubits))
+		for i, q := range g.Qubits {
+			if id, ok := localQ[q]; ok {
+				ids[i] = fmt.Sprint(id)
+			} else {
+				ids[i] = "?" // not yet named: compares equal across embeddings
+			}
+		}
+		return g.Label() + ":" + strings.Join(ids, ",")
+	}
+	for len(ready) > 0 {
+		// Deterministic choice: minimal canonical key, ties by index.
+		best := 0
+		bestKey := key(ready[0])
+		for i := 1; i < len(ready); i++ {
+			if k := key(ready[i]); k < bestKey || (k == bestKey && ready[i] < ready[best]) {
+				best, bestKey = i, k
+			}
+		}
+		gi := ready[best]
+		ready = append(ready[:best], ready[best+1:]...)
+		g := e.c.Gates[gi]
+		ids := make([]string, len(g.Qubits))
+		for i, q := range g.Qubits {
+			if _, ok := localQ[q]; !ok {
+				localQ[q] = nextQ
+				nextQ++
+			}
+			ids[i] = fmt.Sprint(localQ[q])
+		}
+		parts = append(parts, g.Label()+":"+strings.Join(ids, ","))
+		for _, s := range succs[gi] {
+			preds[s]--
+			if preds[s] == 0 {
+				ready = append(ready, s)
+			}
+		}
+	}
+	return strings.Join(parts, "|")
+}
+
+func sortEmbeddings(embeds [][]int) {
+	sort.Slice(embeds, func(i, j int) bool {
+		a, b := embeds[i], embeds[j]
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return len(a) < len(b)
+	})
+}
+
+// greedyDisjoint picks a maximal prefix-greedy family of pairwise-disjoint
+// embeddings.
+func greedyDisjoint(embeds [][]int) [][]int {
+	used := map[int]bool{}
+	var out [][]int
+	for _, e := range embeds {
+		ok := true
+		for _, gi := range e {
+			if used[gi] {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		for _, gi := range e {
+			used[gi] = true
+		}
+		out = append(out, e)
+	}
+	return out
+}

@@ -1,0 +1,134 @@
+package mining
+
+import "paqoc/internal/circuit"
+
+// Selection is one APA-basis gate choice: a pattern plus the disjoint,
+// convex embeddings committed for replacement.
+type Selection struct {
+	Pattern Pattern
+	Chosen  [][]int
+}
+
+// CoveredGates counts gates covered by this selection.
+func (s *Selection) CoveredGates() int { return len(s.Chosen) * s.Pattern.GateCount }
+
+// Select greedily chooses up to m APA-basis patterns by marginal coverage
+// (§III-A: "we consider which frequent subcircuits to use based on its
+// coverage of the circuit"). m < 0 removes the limit (the paper's
+// paqoc(M=inf)); m == 0 selects nothing (paqoc(M=0)). Only convex
+// embeddings — groupable as a single unit without outside dependences
+// threading through — are committed.
+func Select(c *circuit.Circuit, patterns []Pattern, m int, minSupport int) []Selection {
+	if m == 0 {
+		return nil
+	}
+	if minSupport <= 0 {
+		minSupport = 2
+	}
+	dag := circuit.BuildDAG(c)
+	covered := make([]bool, len(c.Gates))
+	var out []Selection
+
+	remaining := append([]Pattern(nil), patterns...)
+	for m < 0 || len(out) < m {
+		bestIdx := -1
+		var bestChosen [][]int
+		bestGain := 0
+		for pi, p := range remaining {
+			chosen := commitEmbeddings(c, dag, p.Embeddings, covered)
+			if len(chosen) < minSupport {
+				continue
+			}
+			gain := len(chosen) * p.GateCount
+			if gain > bestGain || (gain == bestGain && bestIdx >= 0 && p.Signature < remaining[bestIdx].Signature) {
+				bestIdx, bestChosen, bestGain = pi, chosen, gain
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		for _, emb := range bestChosen {
+			for _, gi := range emb {
+				covered[gi] = true
+			}
+		}
+		out = append(out, Selection{Pattern: remaining[bestIdx], Chosen: bestChosen})
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+	}
+	return out
+}
+
+// TunedM returns the paper's paqoc(M=tuned) knob: the smallest M whose
+// selections make APA-covered gates the majority of the circuit, or the
+// maximum achievable M when even full selection cannot reach majority.
+func TunedM(c *circuit.Circuit, patterns []Pattern, minSupport int) int {
+	full := Select(c, patterns, -1, minSupport)
+	covered := 0
+	for mIdx, sel := range full {
+		covered += sel.CoveredGates()
+		if 2*covered > len(c.Gates) {
+			return mIdx + 1
+		}
+	}
+	return len(full)
+}
+
+// commitEmbeddings greedily picks pairwise-disjoint, convex embeddings
+// avoiding already-covered gates.
+func commitEmbeddings(c *circuit.Circuit, dag *circuit.DAG, embeds [][]int, covered []bool) [][]int {
+	used := map[int]bool{}
+	var out [][]int
+	for _, emb := range embeds {
+		ok := true
+		for _, gi := range emb {
+			if covered[gi] || used[gi] {
+				ok = false
+				break
+			}
+		}
+		if !ok || !Convex(dag, emb) {
+			continue
+		}
+		for _, gi := range emb {
+			used[gi] = true
+		}
+		out = append(out, emb)
+	}
+	return out
+}
+
+// Convex reports whether the gate set can be executed as one unit: no
+// dependence path leaves the set and re-enters it. emb must be sorted.
+func Convex(dag *circuit.DAG, emb []int) bool {
+	if len(emb) == 0 {
+		return true
+	}
+	inSet := map[int]bool{}
+	for _, gi := range emb {
+		inSet[gi] = true
+	}
+	lo, hi := emb[0], emb[len(emb)-1]
+	// Forward-mark outside gates in (lo, hi) reachable from the set; if any
+	// marked outside gate feeds back into the set, the set is not convex.
+	tainted := map[int]bool{}
+	for v := lo; v <= hi; v++ {
+		src := inSet[v] || tainted[v]
+		if !src {
+			continue
+		}
+		for _, s := range dag.Succs[v] {
+			if s > hi {
+				continue
+			}
+			if inSet[v] && !inSet[s] {
+				tainted[s] = true
+			} else if tainted[v] {
+				if inSet[s] {
+					return false
+				}
+				tainted[s] = true
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,188 @@
+package paqoc
+
+import (
+	"sort"
+
+	"paqoc/internal/critical"
+)
+
+// optimize runs Algorithm 1: iteratively rank two-block merge candidates by
+// their critical-path reduction and apply the top-k, preceded each round by
+// the Observation-1 pre-processing merges, until no merge improves the
+// circuit latency.
+//
+// Ranking uses the paper's O(1) path formulas (§V-A): the old path through
+// the pair is to[i] + from[j]; the new one threads every predecessor and
+// successor of the merged block, to_in + L(merged) + from_out. The merged
+// latency comes from the analytical model (or a generator probe for
+// Case II) and is cached per block pair, so an iteration costs O(V + E).
+// Each applied merge is re-validated with an exact what-if critical path,
+// enforcing the monotonic-decrease contract.
+func (cp *Compiler) optimize(bc *critical.BlockCircuit) (int, error) {
+	const eps = 1e-9
+	labCache := map[[2]*critical.Block]float64{}
+	iters := 0
+
+	for iters < cp.Cfg.MaxIterations {
+		iters++
+
+		if err := cp.preprocess(bc); err != nil {
+			return iters, err
+		}
+
+		cands := bc.Candidates(cp.Cfg.MaxN, cp.Cfg.PruneCaseIII)
+		if len(cands) == 0 {
+			break
+		}
+		dag := bc.DAG()
+		w := bc.Weights()
+		to := dag.LongestPathTo(w)
+		from := dag.LongestPathFrom(w)
+
+		type scoredCand struct {
+			a, b  *critical.Block
+			score float64
+		}
+		var scored []scoredCand
+		for _, cand := range cands {
+			key := [2]*critical.Block{bc.Blocks[cand.I], bc.Blocks[cand.J]}
+			lab, ok := labCache[key]
+			if !ok {
+				var err error
+				lab, err = cp.candidateLatency(&cand)
+				if err != nil {
+					return iters, err
+				}
+				labCache[key] = lab
+			}
+			pathOld := to[cand.I] + from[cand.J]
+			var toIn, fromOut float64
+			for _, p := range dag.Preds[cand.I] {
+				if to[p] > toIn {
+					toIn = to[p]
+				}
+			}
+			for _, p := range dag.Preds[cand.J] {
+				if p != cand.I && to[p] > toIn {
+					toIn = to[p]
+				}
+			}
+			for _, s := range dag.Succs[cand.J] {
+				if from[s] > fromOut {
+					fromOut = from[s]
+				}
+			}
+			for _, s := range dag.Succs[cand.I] {
+				if s != cand.J && from[s] > fromOut {
+					fromOut = from[s]
+				}
+			}
+			score := pathOld - (toIn + lab + fromOut)
+			if score > eps {
+				scored = append(scored, scoredCand{a: bc.Blocks[cand.I], b: bc.Blocks[cand.J], score: score})
+			}
+		}
+		if len(scored) == 0 {
+			break
+		}
+		sort.SliceStable(scored, func(i, j int) bool { return scored[i].score > scored[j].score })
+
+		// Walk the ranked list and apply up to top-k merges that survive
+		// the exact monotonicity check ("if customized_gate is no longer
+		// valid then continue", Algorithm 1 line 16). Indices shift after
+		// each merge, so candidates are tracked by block identity.
+		applied := 0
+		usedBlocks := map[*critical.Block]bool{}
+		curCP := bc.CriticalPath()
+		for _, cand := range scored {
+			if applied >= cp.Cfg.TopK {
+				break
+			}
+			if usedBlocks[cand.a] || usedBlocks[cand.b] {
+				continue
+			}
+			i, j := blockIndex(bc, cand.a), blockIndex(bc, cand.b)
+			if i < 0 || j < 0 {
+				continue
+			}
+			if i > j {
+				i, j = j, i
+			}
+			if !bc.ValidMerge(i, j, cp.Cfg.MaxN) {
+				continue
+			}
+			m := critical.Merge(bc.Blocks[i], bc.Blocks[j])
+			lab, err := cp.applyLatency(m)
+			if err != nil {
+				return iters, err
+			}
+			if bc.CPIfMerged(i, j, lab) >= curCP-eps {
+				continue // the estimate was optimistic; skip this merge
+			}
+			usedBlocks[bc.Blocks[i]] = true
+			usedBlocks[bc.Blocks[j]] = true
+			bc.ReplaceMerge(i, j, m, lab, nil)
+			curCP = bc.CriticalPath()
+			applied++
+		}
+		if applied == 0 {
+			break
+		}
+	}
+	return iters, nil
+}
+
+// preprocess applies all Observation-1 merges (nested qubit sets) to a
+// fixed point.
+func (cp *Compiler) preprocess(bc *critical.BlockCircuit) error {
+	for {
+		pre := bc.PreprocessCandidates(cp.Cfg.MaxN)
+		if len(pre) == 0 {
+			return nil
+		}
+		cand := pre[0]
+		if !bc.ValidMerge(cand.I, cand.J, cp.Cfg.MaxN) {
+			// Structural conditions should guarantee validity; fail safe.
+			return nil
+		}
+		lat, err := cp.rank(cand.Merged)
+		if err != nil {
+			return err
+		}
+		bc.ReplaceMerge(cand.I, cand.J, cand.Merged, lat, nil)
+	}
+}
+
+// candidateLatency estimates the merged latency for ranking, always via
+// the analytical model — the observations of §III-B exist precisely so
+// the search can rank without generating pulses.
+func (cp *Compiler) candidateLatency(cand *critical.Candidate) (float64, error) {
+	return cp.rank(cand.Merged)
+}
+
+// applyLatency supplies the latency used when a merge is actually applied.
+// With ProbeCaseII (the paper's §V-A probe: "We need to perform the
+// merging of A and C to get L(AC)"), the real generator produces the pulse
+// now; the result lands in its database, so the final emission pass serves
+// it as a free hit. Probing only applied merges keeps probe cost
+// proportional to merges performed rather than candidates ranked.
+func (cp *Compiler) applyLatency(m *critical.Block) (float64, error) {
+	if cp.Cfg.ProbeCaseII && cp.Gen != cp.Ranker {
+		g, err := cp.Gen.Generate(m.Custom(), cp.Cfg.FidelityTarget)
+		if err != nil {
+			return 0, err
+		}
+		cp.probeCost += g.Cost
+		return g.Latency, nil
+	}
+	return cp.rank(m)
+}
+
+func blockIndex(bc *critical.BlockCircuit, b *critical.Block) int {
+	for i, x := range bc.Blocks {
+		if x == b {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,54 @@
+package paqoc_test
+
+import (
+	"fmt"
+	"log"
+
+	"paqoc/internal/circuit"
+	"paqoc/internal/paqoc"
+	"paqoc/internal/topology"
+)
+
+// Example compiles a three-gate circuit and reports the customized gates —
+// the minimal end-to-end use of the framework.
+func Example() {
+	c := circuit.New(2)
+	c.Add("h", 0)
+	c.Add("cx", 0, 1)
+	c.Add("cx", 0, 1)
+
+	compiler := paqoc.New(nil, topology.Line(2), paqoc.DefaultConfig())
+	res, err := compiler.Compile(c)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("customized gates: %d\n", res.NumBlocks)
+	fmt.Printf("latency improved: %v\n", res.Latency < res.InitialLatency)
+	// Output:
+	// customized gates: 1
+	// latency improved: true
+}
+
+// ExampleConfig_m shows the APA knob: M=0 disables the miner, MInf lets it
+// promote every recurring pattern.
+func ExampleConfig() {
+	c := circuit.New(3)
+	for i := 0; i < 2; i++ {
+		c.Add("cx", 0, 1)
+		c.AddParam("rz", []float64{0.5}, 1)
+		c.Add("cx", 0, 1)
+		c.Add("cx", 1, 2)
+		c.AddParam("rz", []float64{0.5}, 2)
+		c.Add("cx", 1, 2)
+	}
+	cfg := paqoc.DefaultConfig()
+	cfg.M = paqoc.MInf
+	compiler := paqoc.New(nil, topology.Line(3), cfg)
+	res, err := compiler.Compile(c)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("APA patterns used: %d\n", len(res.APASelections))
+	// Output:
+	// APA patterns used: 1
+}

@@ -1,0 +1,143 @@
+package paqoc
+
+import (
+	"testing"
+
+	"paqoc/internal/circuit"
+	"paqoc/internal/grape"
+	"paqoc/internal/hamiltonian"
+	"paqoc/internal/linalg"
+	"paqoc/internal/pulsesim"
+	"paqoc/internal/topology"
+)
+
+// TestCompileWithRealGRAPE is the full-stack integration check: compile a
+// circuit with the real optimizer as the pulse generator, then replay every
+// emitted schedule through the device Hamiltonian and verify it realizes
+// its customized gate's unitary at the reported fidelity. This exercises
+// miner → criticality engine → GRAPE → pulse DB → simulator end to end.
+func TestCompileWithRealGRAPE(t *testing.T) {
+	if testing.Short() {
+		t.Skip("GRAPE integration is slow")
+	}
+	topo := topology.Line(3)
+	c := circuit.New(3)
+	c.Add("h", 0)
+	c.Add("cx", 0, 1)
+	c.Add("cx", 1, 2)
+	c.AddParam("rz", []float64{0.7}, 2)
+	c.Add("cx", 1, 2)
+	c.Add("cx", 0, 1)
+
+	gen := grape.NewGenerator(grape.DefaultOptions())
+	gen.Topo = topo
+	cfg := DefaultConfig()
+	cfg.ProbeCaseII = false // keep the probe count down; emission still runs GRAPE
+	comp := New(gen, topo, cfg)
+	res, err := comp.Compile(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Latency >= res.InitialLatency {
+		t.Errorf("GRAPE-backed compile did not reduce latency: %.0f vs %.0f",
+			res.Latency, res.InitialLatency)
+	}
+
+	for _, b := range res.Blocks.Blocks {
+		if b.Gen == nil || b.Gen.Schedule == nil {
+			t.Fatalf("block %s missing a real schedule", b.Custom().Describe())
+		}
+		want, err := b.Custom().Unitary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Rebuild the system GRAPE used for this block.
+		n := b.Custom().NumQubits()
+		var pairs [][2]int
+		for a := 0; a < n; a++ {
+			for bq := a + 1; bq < n; bq++ {
+				if topo.Connected(b.Custom().Qubits[a], b.Custom().Qubits[bq]) {
+					pairs = append(pairs, [2]int{a, bq})
+				}
+			}
+		}
+		if len(pairs) == 0 && n > 1 {
+			pairs = hamiltonian.LinearChain(n)
+		}
+		sys := hamiltonian.XYTransmon(n, pairs)
+		got, err := pulsesim.Evolve(sys, b.Gen.Schedule)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fid := linalg.TraceFidelity(want, got)
+		if fid < b.Gen.Fidelity-1e-6 {
+			t.Errorf("block %s: simulated fidelity %.6f below reported %.6f",
+				b.Custom().Describe(), fid, b.Gen.Fidelity)
+		}
+		if fid < 0.999 {
+			t.Errorf("block %s: fidelity %.6f below target", b.Custom().Describe(), fid)
+		}
+	}
+
+	// The flattened circuit must still implement the original unitary.
+	want, err := c.Unitary(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := res.Blocks.Flatten().Unitary(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if linalg.GlobalPhaseDistance(want, got) > 1e-8 {
+		t.Error("compilation changed the circuit unitary")
+	}
+}
+
+// TestGRAPEMatchesModelOrdering cross-validates the analytical model
+// against the real optimizer: on a set of representative customized gates,
+// the model's latency ordering must match GRAPE's.
+func TestGRAPEMatchesModelOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("GRAPE cross-validation is slow")
+	}
+	topo := topology.Line(2)
+	mk := func(build func(c *circuit.Circuit)) *circuit.Circuit {
+		c := circuit.New(2)
+		build(c)
+		return c
+	}
+	cases := []*circuit.Circuit{
+		mk(func(c *circuit.Circuit) { c.Add("h", 0) }),
+		mk(func(c *circuit.Circuit) { c.Add("cx", 0, 1) }),
+		mk(func(c *circuit.Circuit) {
+			c.Add("cx", 0, 1)
+			c.Add("cx", 1, 0)
+			c.Add("cx", 0, 1)
+		}),
+	}
+	gGen := grape.NewGenerator(grape.DefaultOptions())
+	gGen.Topo = topo
+	cfgG := DefaultConfig()
+	var grapeLat, modelLat []float64
+	for _, c := range cases {
+		compG := New(gGen, topo, cfgG)
+		rg, err := compG.Compile(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		compM := New(nil, topo, DefaultConfig())
+		rm, err := compM.Compile(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		grapeLat = append(grapeLat, rg.Latency)
+		modelLat = append(modelLat, rm.Latency)
+	}
+	for i := 0; i < len(cases); i++ {
+		for j := i + 1; j < len(cases); j++ {
+			if (grapeLat[i] < grapeLat[j]) != (modelLat[i] < modelLat[j]) {
+				t.Errorf("ordering disagreement between GRAPE (%v) and model (%v)", grapeLat, modelLat)
+			}
+		}
+	}
+}

@@ -1,0 +1,341 @@
+// Package paqoc is the top of the stack: the Program-Aware QOC pulse
+// generation framework (Fig. 7). It wires together the frequent-subcircuits
+// miner (APA-basis gates, §III-A), the criticality-aware customized gates
+// generator (Algorithm 1, §V-A), and a control-pulse generator (GRAPE or
+// the calibrated analytical model) with its pulse database (§V-B).
+package paqoc
+
+import (
+	"fmt"
+	"time"
+
+	"paqoc/internal/circuit"
+	"paqoc/internal/commute"
+	"paqoc/internal/critical"
+	"paqoc/internal/latency"
+	"paqoc/internal/mining"
+	"paqoc/internal/pulse"
+	"paqoc/internal/pulsesim"
+	"paqoc/internal/topology"
+)
+
+// MInf requests unlimited APA-basis gates (the paper's paqoc(M=inf)).
+const MInf = -1
+
+// Config holds the user-facing knobs of §V-C.
+type Config struct {
+	// MaxN caps customized-gate width; the evaluation uses 3 (§VI-c).
+	MaxN int
+	// TopK is the number of merges applied per iteration (§V-A2).
+	TopK int
+	// M caps the number of APA-basis gates: 0 disables the miner
+	// (paqoc(M=0)), MInf removes the limit (paqoc(M=inf)), positive values
+	// select the top-M patterns by coverage.
+	M int
+	// MinSupport is the miner's recurrence threshold (default 2).
+	MinSupport int
+	// FidelityTarget is the per-customized-gate GRAPE fidelity (§VI-d sets
+	// it "as high as possible" so the circuit ESP beats the baseline);
+	// default 0.999.
+	FidelityTarget float64
+	// PruneCaseIII drops merges of two non-critical blocks (§V-A1).
+	// Enabled by default via New.
+	PruneCaseIII bool
+	// ProbeCaseII asks the real generator (not just the analytical model)
+	// for Case II candidates, as §V-A prescribes.
+	ProbeCaseII bool
+	// MaxIterations bounds Algorithm 1's outer loop (safety; the loop
+	// normally stops when no merge improves the critical path).
+	MaxIterations int
+	// Mining bounds the pattern search.
+	Mining mining.Options
+	// Preselected supplies offline-mined APA selections for the
+	// online/offline split on parameterized circuits (§I contribution 5).
+	Preselected []mining.Selection
+	// Commute enables the commutativity-aware canonicalization pass
+	// (internal/commute) before mining and merging — the CLS-inspired
+	// extension the paper lists as future work (§VII). Off by default to
+	// match the paper's evaluated configuration.
+	Commute bool
+}
+
+// DefaultConfig mirrors the paper's evaluation setup.
+func DefaultConfig() Config {
+	return Config{
+		MaxN:           3,
+		TopK:           1,
+		M:              0,
+		MinSupport:     2,
+		FidelityTarget: 0.999,
+		PruneCaseIII:   true,
+		ProbeCaseII:    true,
+		MaxIterations:  10000,
+		Mining:         mining.DefaultOptions(),
+	}
+}
+
+// Result is the output of a compilation.
+type Result struct {
+	Blocks *critical.BlockCircuit
+	// Latency is the final circuit latency: the weighted critical path of
+	// the block DAG with generated pulse durations (dt).
+	Latency float64
+	// InitialLatency is the fixed-gate baseline: per-basis-gate pulses
+	// stitched along the dependence DAG.
+	InitialLatency float64
+	// TotalLatency is the sequential sum of block pulse durations.
+	TotalLatency float64
+	// ESP is Eq. (2)'s estimated success probability.
+	ESP float64
+	// CompileCost sums online pulse-generation costs in (modelled)
+	// seconds — the ~95% component of compilation time (§VI-B) — plus the
+	// measured search time.
+	CompileCost float64
+	// OfflineCost is the pulse-generation cost of APA-basis gates, which
+	// the offline component precomputes (§V-C, §I contribution 5): APA
+	// pulses "only need to be calculated once" and are excluded from the
+	// online compile time.
+	OfflineCost float64
+	// WallTime is the measured end-to-end compilation time.
+	WallTime time.Duration
+	// Iterations is the number of Algorithm 1 outer iterations executed.
+	Iterations int
+	// APASelections are the APA-basis gates used (empty when M = 0).
+	APASelections []mining.Selection
+	// NumBlocks is the number of customized gates in the output.
+	NumBlocks int
+}
+
+// Compiler compiles physical circuits into pulses. A Compiler is not safe
+// for concurrent Compile calls; build one per goroutine (they can share a
+// pulse generator's database only if that generator is itself synchronized).
+type Compiler struct {
+	// Gen generates the final (and Case II probe) pulses.
+	Gen pulse.Generator
+	// Ranker is the fast analytical estimator used by the search.
+	Ranker *latency.Model
+	Cfg    Config
+
+	probeCost float64 // Case II probe costs accumulated during optimize
+}
+
+// New builds a compiler around a pulse generator. If gen is nil, the
+// analytical model serves as both ranker and generator (the configuration
+// used for the paper-scale sweeps).
+func New(gen pulse.Generator, topo *topology.Topology, cfg Config) *Compiler {
+	ranker := latency.NewModel()
+	ranker.Topo = topo
+	if gen == nil {
+		// A separate model instance with its own pulse database: ranking
+		// probes must not pre-populate the generator's DB, or compile-cost
+		// accounting (Fig. 11) would see every final pulse as a free hit.
+		m := latency.NewModel()
+		m.Topo = topo
+		gen = m
+	}
+	if cfg.MaxN == 0 {
+		cfg.MaxN = 3
+	}
+	if cfg.TopK == 0 {
+		cfg.TopK = 1
+	}
+	if cfg.FidelityTarget == 0 {
+		cfg.FidelityTarget = 0.999
+	}
+	if cfg.MaxIterations == 0 {
+		cfg.MaxIterations = 10000
+	}
+	return &Compiler{Gen: gen, Ranker: ranker, Cfg: cfg}
+}
+
+// rank estimates a merged block's latency with the analytical model.
+func (cp *Compiler) rank(b *critical.Block) (float64, error) {
+	g, err := cp.Ranker.Generate(b.Custom(), cp.Cfg.FidelityTarget)
+	if err != nil {
+		return 0, err
+	}
+	return g.Latency, nil
+}
+
+// Compile runs the full pipeline on a physical circuit.
+func (cp *Compiler) Compile(phys *circuit.Circuit) (*Result, error) {
+	start := time.Now()
+	res := &Result{}
+
+	if cp.Cfg.Commute {
+		phys = commute.Canonicalize(phys)
+	}
+
+	// ── Frequent subcircuits miner → APA-basis gates ──────────────────
+	selections := cp.Cfg.Preselected
+	if selections == nil && cp.Cfg.M != 0 {
+		patterns := mining.Mine(phys, cp.miningOpts())
+		selections = mining.Select(phys, patterns, cp.Cfg.M, cp.Cfg.MinSupport)
+	}
+	res.APASelections = selections
+
+	// ── Initial block circuit with analytical latencies ───────────────
+	bc, err := critical.FromCircuit(phys, func(cg *pulse.CustomGate) (float64, error) {
+		g, err := cp.Ranker.Generate(cg, cp.Cfg.FidelityTarget)
+		if err != nil {
+			return 0, err
+		}
+		return g.Latency, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.InitialLatency = bc.CriticalPath()
+
+	if err := cp.applyAPA(bc, selections); err != nil {
+		return nil, err
+	}
+
+	// ── Criticality-aware customized gates generator (Algorithm 1) ────
+	iters, err := cp.optimize(bc)
+	if err != nil {
+		return nil, err
+	}
+	res.Iterations = iters
+
+	// ── Control pulses generator: emit final pulses per block. APA
+	// blocks first, so their (offline) pulses are in the database before
+	// the online pass runs. ─────────────────────────────────────────────
+	var cost, offline float64
+	emit := func(b *critical.Block) error {
+		gen, err := cp.Gen.Generate(b.Custom(), cp.Cfg.FidelityTarget)
+		if err != nil {
+			return fmt.Errorf("paqoc: generating pulses for %s: %v", b.Custom().Describe(), err)
+		}
+		b.Gen = gen
+		b.Latency = gen.Latency
+		if b.APA {
+			offline += gen.Cost
+		} else {
+			cost += gen.Cost
+		}
+		return nil
+	}
+	for _, b := range bc.Blocks {
+		if b.APA {
+			if err := emit(b); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, b := range bc.Blocks {
+		if !b.APA {
+			if err := emit(b); err != nil {
+				return nil, err
+			}
+		}
+	}
+	res.OfflineCost = offline
+	// Probe costs already accumulated inside optimize().
+	cost += cp.probeCost
+	cp.probeCost = 0
+
+	res.Blocks = bc
+	res.Latency = bc.CriticalPath()
+	res.TotalLatency = bc.TotalLatency()
+	res.ESP = pulsesim.ESP(bc.Generated())
+	res.WallTime = time.Since(start)
+	// Total compilation overhead: pulse generation (the ~95% component,
+	// §VI-B) plus the measured search/mining time.
+	res.CompileCost = cost + res.WallTime.Seconds()
+	res.NumBlocks = len(bc.Blocks)
+	return res, nil
+}
+
+func (cp *Compiler) miningOpts() mining.Options {
+	o := cp.Cfg.Mining
+	if o.MaxQubits == 0 || o.MaxQubits > cp.Cfg.MaxN {
+		o.MaxQubits = cp.Cfg.MaxN
+	}
+	if o.MinSupport == 0 {
+		o.MinSupport = cp.Cfg.MinSupport
+	}
+	return o
+}
+
+// applyAPA replaces the selected embeddings with single blocks.
+func (cp *Compiler) applyAPA(bc *critical.BlockCircuit, selections []mining.Selection) error {
+	if len(selections) == 0 {
+		return nil
+	}
+	// Collect gate-index → embedding assignments. Initial blocks map 1:1
+	// to gate indices, so embeddings translate directly.
+	for _, sel := range selections {
+		for _, emb := range sel.Chosen {
+			if err := cp.mergeRun(bc, emb); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// mergeRun fuses the blocks holding the given original gate indices into a
+// single APA block by repeated pairwise merging. Blocks are tracked through
+// index shifts via their Origin tags.
+func (cp *Compiler) mergeRun(bc *critical.BlockCircuit, gateIdx []int) error {
+	gset := make(map[int]bool, len(gateIdx))
+	for _, gi := range gateIdx {
+		gset[gi] = true
+	}
+	for {
+		members := memberBlocks(bc, gset)
+		if len(members) <= 1 {
+			if len(members) == 1 {
+				bc.Blocks[members[0]].APA = true
+			}
+			return nil
+		}
+		merged := false
+	search:
+		for _, i := range members {
+			for _, j := range members {
+				if i >= j || !bc.ValidMerge(i, j, cp.Cfg.MaxN) {
+					continue
+				}
+				m := critical.Merge(bc.Blocks[i], bc.Blocks[j])
+				lat, err := cp.rank(m)
+				if err != nil {
+					return err
+				}
+				m.APA = true
+				bc.ReplaceMerge(i, j, m, lat, nil)
+				merged = true
+				break search
+			}
+		}
+		if !merged {
+			// Remaining members cannot legally fuse (the selection's
+			// convexity held on the original circuit but an earlier APA
+			// replacement intervened); leave them as separate blocks.
+			return nil
+		}
+	}
+}
+
+// memberBlocks returns indices of blocks consisting entirely of gates from
+// the given original-index set.
+func memberBlocks(bc *critical.BlockCircuit, gset map[int]bool) []int {
+	var out []int
+	for bi, b := range bc.Blocks {
+		if len(b.Origin) == 0 {
+			continue
+		}
+		all := true
+		for _, o := range b.Origin {
+			if !gset[o] {
+				all = false
+				break
+			}
+		}
+		if all {
+			out = append(out, bi)
+		}
+	}
+	return out
+}

@@ -1,0 +1,132 @@
+package pulse
+
+import (
+	"paqoc/internal/linalg"
+	"paqoc/internal/quantum"
+)
+
+// DB is the pulse database of §V-B: previously generated pulses keyed by
+// the canonical unitary of the customized gate. Lookups also detect the
+// same gate with permuted qubits, and a similarity search supplies a warm
+// initial guess to GRAPE for near-miss unitaries (as in AccQOC).
+type DB struct {
+	// DetectPermutations enables the §V-B permuted-qubit lookup — a PAQOC
+	// feature the AccQOC baseline does not have.
+	DetectPermutations bool
+
+	entries map[string]*Entry
+	byDim   map[int][]*Entry
+	hits    int
+	misses  int
+}
+
+// Entry is one stored pulse.
+type Entry struct {
+	Key       string
+	U         *linalg.Matrix
+	Generated *Generated
+}
+
+// NewDB returns an empty pulse database with permutation detection on.
+func NewDB() *DB {
+	return &DB{
+		DetectPermutations: true,
+		entries:            make(map[string]*Entry),
+		byDim:              make(map[int][]*Entry),
+	}
+}
+
+// Len returns the number of stored pulses.
+func (db *DB) Len() int { return len(db.entries) }
+
+// Stats returns cache hit/miss counters.
+func (db *DB) Stats() (hits, misses int) { return db.hits, db.misses }
+
+// Lookup finds a stored pulse for u, trying first the exact canonical key
+// and then every qubit permutation of u (§V-B: "for the same customized
+// gate with permuted qubits, it will also be detected"). The permutation
+// search is bounded: k! for k-qubit gates with k ≤ 3 is at most 6.
+//
+// On a permuted hit, perm is the non-nil permutation such that the stored
+// entry's unitary equals PermuteQubits(u, perm): the stored entry's local
+// qubit i plays the role of u's local qubit perm[i]. Consumers that reuse
+// the stored *schedule* (not just its latency) must remap control channels
+// accordingly — see grape.Generator. perm is nil on exact hits.
+func (db *DB) Lookup(u *linalg.Matrix) (gen *Generated, perm []int, ok bool) {
+	if e, hit := db.entries[CanonicalKey(u)]; hit {
+		db.hits++
+		return e.Generated, nil, true
+	}
+	k := quantum.QubitCount(u)
+	if db.DetectPermutations && k >= 2 && k <= 3 {
+		for _, p := range permutations(k) {
+			if isIdentityPerm(p) {
+				continue
+			}
+			if e, hit := db.entries[CanonicalKey(quantum.PermuteQubits(u, p))]; hit {
+				db.hits++
+				return e.Generated, p, true
+			}
+		}
+	}
+	db.misses++
+	return nil, nil, false
+}
+
+// Store records a generated pulse for u.
+func (db *DB) Store(u *linalg.Matrix, g *Generated) {
+	key := CanonicalKey(u)
+	if _, ok := db.entries[key]; ok {
+		return
+	}
+	e := &Entry{Key: key, U: u.Clone(), Generated: g}
+	db.entries[key] = e
+	db.byDim[u.Rows] = append(db.byDim[u.Rows], e)
+}
+
+// Nearest returns the stored entry of matching dimension with the smallest
+// phase-invariant Frobenius distance to u, provided it is below maxDist.
+// Used as the GRAPE initial guess (§V-B, following AccQOC).
+func (db *DB) Nearest(u *linalg.Matrix, maxDist float64) (*Entry, float64, bool) {
+	var best *Entry
+	bestDist := maxDist
+	for _, e := range db.byDim[u.Rows] {
+		if d := linalg.GlobalPhaseDistance(u, e.U); d < bestDist {
+			best, bestDist = e, d
+		}
+	}
+	if best == nil {
+		return nil, 0, false
+	}
+	return best, bestDist, true
+}
+
+func permutations(k int) [][]int {
+	base := make([]int, k)
+	for i := range base {
+		base[i] = i
+	}
+	var out [][]int
+	var rec func(cur []int, rest []int)
+	rec = func(cur, rest []int) {
+		if len(rest) == 0 {
+			out = append(out, append([]int(nil), cur...))
+			return
+		}
+		for i := range rest {
+			next := append(append([]int(nil), rest[:i]...), rest[i+1:]...)
+			rec(append(cur, rest[i]), next)
+		}
+	}
+	rec(nil, base)
+	return out
+}
+
+func isIdentityPerm(p []int) bool {
+	for i, v := range p {
+		if i != v {
+			return false
+		}
+	}
+	return true
+}

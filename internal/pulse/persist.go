@@ -1,0 +1,78 @@
+package pulse
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"paqoc/internal/linalg"
+)
+
+// dbFile is the on-disk shape of a pulse database: the §V-C offline
+// component persists APA-basis and customized-gate pulses here so the
+// online component can start warm in a later process.
+type dbFile struct {
+	Version int           `json:"version"`
+	Entries []dbFileEntry `json:"entries"`
+}
+
+type dbFileEntry struct {
+	Dim      int          `json:"dim"`
+	Unitary  [][2]float64 `json:"unitary"` // row-major (re, im)
+	Latency  float64      `json:"latency_dt"`
+	Fidelity float64      `json:"fidelity"`
+	Error    float64      `json:"error"`
+	Schedule *Schedule    `json:"schedule,omitempty"`
+}
+
+// Save serializes every stored pulse.
+func (db *DB) Save(w io.Writer) error {
+	out := dbFile{Version: 1}
+	for _, dimEntries := range db.byDim {
+		for _, e := range dimEntries {
+			fe := dbFileEntry{
+				Dim:      e.U.Rows,
+				Latency:  e.Generated.Latency,
+				Fidelity: e.Generated.Fidelity,
+				Error:    e.Generated.Error,
+				Schedule: e.Generated.Schedule,
+			}
+			fe.Unitary = make([][2]float64, len(e.U.Data))
+			for i, v := range e.U.Data {
+				fe.Unitary[i] = [2]float64{real(v), imag(v)}
+			}
+			out.Entries = append(out.Entries, fe)
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// LoadDB reads a database written by Save. Cache statistics start fresh;
+// permutation detection follows NewDB's default (on).
+func LoadDB(r io.Reader) (*DB, error) {
+	var in dbFile
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("pulse: loading DB: %v", err)
+	}
+	if in.Version != 1 {
+		return nil, fmt.Errorf("pulse: unsupported DB version %d", in.Version)
+	}
+	db := NewDB()
+	for i, fe := range in.Entries {
+		if fe.Dim <= 0 || len(fe.Unitary) != fe.Dim*fe.Dim {
+			return nil, fmt.Errorf("pulse: entry %d has inconsistent dimensions", i)
+		}
+		u := linalg.New(fe.Dim, fe.Dim)
+		for k, v := range fe.Unitary {
+			u.Data[k] = complex(v[0], v[1])
+		}
+		db.Store(u, &Generated{
+			Latency:  fe.Latency,
+			Fidelity: fe.Fidelity,
+			Error:    fe.Error,
+			Schedule: fe.Schedule,
+		})
+	}
+	return db, nil
+}

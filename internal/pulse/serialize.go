@@ -1,0 +1,97 @@
+package pulse
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// ScheduleJSON is the serialized form of a schedule, loosely following the
+// OpenPulse convention of named channels with per-sample amplitudes. dt is
+// the device sample time in nanoseconds so consumers can convert.
+type ScheduleJSON struct {
+	DtNanoseconds float64            `json:"dt_ns"`
+	SliceDt       float64            `json:"slice_dt"`
+	DurationDt    float64            `json:"duration_dt"`
+	Channels      []ChannelJSON      `json:"channels"`
+	Meta          map[string]float64 `json:"meta,omitempty"`
+}
+
+// ChannelJSON is one control channel's samples.
+type ChannelJSON struct {
+	Name    string    `json:"name"`
+	Samples []float64 `json:"samples"`
+}
+
+// MarshalJSON serializes a schedule with optional metadata (latency,
+// fidelity) merged in.
+func (s *Schedule) MarshalJSON() ([]byte, error) {
+	out := ScheduleJSON{
+		DtNanoseconds: 2.0 / 9.0,
+		SliceDt:       s.SliceDt,
+		DurationDt:    s.Duration(),
+	}
+	for k, name := range s.Channels {
+		out.Channels = append(out.Channels, ChannelJSON{
+			Name:    name,
+			Samples: append([]float64(nil), s.Amps[k]...),
+		})
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON restores a schedule.
+func (s *Schedule) UnmarshalJSON(data []byte) error {
+	var in ScheduleJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	if in.SliceDt <= 0 {
+		return fmt.Errorf("pulse: non-positive slice_dt")
+	}
+	s.SliceDt = in.SliceDt
+	s.Channels = nil
+	s.Amps = nil
+	n := -1
+	for _, ch := range in.Channels {
+		if n >= 0 && len(ch.Samples) != n {
+			return fmt.Errorf("pulse: ragged channels")
+		}
+		n = len(ch.Samples)
+		s.Channels = append(s.Channels, ch.Name)
+		s.Amps = append(s.Amps, append([]float64(nil), ch.Samples...))
+	}
+	return nil
+}
+
+// RenderASCII draws the schedule as per-channel amplitude strips, one row
+// per channel, using a small glyph ramp. Useful for eyeballing pulses in a
+// terminal (the paper's Fig. 2 panels, roughly).
+func (s *Schedule) RenderASCII() string {
+	const ramp = " .:-=+*#%@"
+	var peak float64
+	for _, ch := range s.Amps {
+		for _, v := range ch {
+			if a := math.Abs(v); a > peak {
+				peak = a
+			}
+		}
+	}
+	if peak == 0 {
+		peak = 1
+	}
+	out := ""
+	for k, name := range s.Channels {
+		row := make([]byte, len(s.Amps[k]))
+		for j, v := range s.Amps[k] {
+			idx := int(math.Abs(v) / peak * float64(len(ramp)-1))
+			if idx >= len(ramp) {
+				idx = len(ramp) - 1
+			}
+			row[j] = ramp[idx]
+		}
+		sign := ""
+		out += fmt.Sprintf("%-10s |%s|%s\n", name, string(row), sign)
+	}
+	return out
+}

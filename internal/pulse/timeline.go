@@ -1,0 +1,155 @@
+package pulse
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TimelineEntry schedules one customized gate at an absolute start time.
+type TimelineEntry struct {
+	Index  int // block index in the compiled circuit
+	Qubits []int
+	Start  float64 // dt
+	End    float64 // dt
+}
+
+// Timeline is the whole-circuit pulse schedule: every customized gate
+// placed as-soon-as-possible subject to qubit availability. Its makespan
+// equals the block circuit's weighted critical path, which is the latency
+// figure PAQOC reports — the timeline is the constructive witness.
+type Timeline struct {
+	Entries  []TimelineEntry
+	Makespan float64
+}
+
+// BuildTimeline computes ASAP start times for a sequence of blocks given
+// their qubit sets and latencies (program order must be a linear extension
+// of the dependence DAG, which critical.BlockCircuit maintains).
+func BuildTimeline(qubitSets [][]int, latencies []float64) (*Timeline, error) {
+	if len(qubitSets) != len(latencies) {
+		return nil, fmt.Errorf("pulse: %d qubit sets vs %d latencies", len(qubitSets), len(latencies))
+	}
+	ready := map[int]float64{} // qubit → time it becomes free
+	tl := &Timeline{}
+	for i, qs := range qubitSets {
+		if latencies[i] < 0 {
+			return nil, fmt.Errorf("pulse: negative latency at block %d", i)
+		}
+		start := 0.0
+		for _, q := range qs {
+			if ready[q] > start {
+				start = ready[q]
+			}
+		}
+		end := start + latencies[i]
+		for _, q := range qs {
+			ready[q] = end
+		}
+		tl.Entries = append(tl.Entries, TimelineEntry{
+			Index:  i,
+			Qubits: append([]int(nil), qs...),
+			Start:  start,
+			End:    end,
+		})
+		if end > tl.Makespan {
+			tl.Makespan = end
+		}
+	}
+	return tl, nil
+}
+
+// Concurrency returns the maximum number of simultaneously active blocks —
+// a measure of how much parallelism the grouping preserved.
+func (tl *Timeline) Concurrency() int {
+	type event struct {
+		t     float64
+		delta int
+	}
+	var events []event
+	for _, e := range tl.Entries {
+		if e.End <= e.Start {
+			continue
+		}
+		events = append(events, event{e.Start, 1}, event{e.End, -1})
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].t != events[j].t {
+			return events[i].t < events[j].t
+		}
+		return events[i].delta < events[j].delta // ends before starts at ties
+	})
+	cur, mx := 0, 0
+	for _, e := range events {
+		cur += e.delta
+		if cur > mx {
+			mx = cur
+		}
+	}
+	return mx
+}
+
+// Validate checks the structural invariants: no two entries overlap on a
+// shared qubit, and the makespan matches the latest end.
+func (tl *Timeline) Validate() error {
+	var mx float64
+	for i, a := range tl.Entries {
+		if a.End < a.Start {
+			return fmt.Errorf("pulse: entry %d ends before it starts", i)
+		}
+		if a.End > mx {
+			mx = a.End
+		}
+		for j := i + 1; j < len(tl.Entries); j++ {
+			b := tl.Entries[j]
+			if a.End <= b.Start || b.End <= a.Start {
+				continue
+			}
+			for _, qa := range a.Qubits {
+				for _, qb := range b.Qubits {
+					if qa == qb {
+						return fmt.Errorf("pulse: entries %d and %d overlap on qubit %d", i, j, qa)
+					}
+				}
+			}
+		}
+	}
+	if mx != tl.Makespan {
+		return fmt.Errorf("pulse: makespan %g, latest end %g", tl.Makespan, mx)
+	}
+	return nil
+}
+
+// RenderASCII draws the timeline as one row per qubit with block indices
+// marking busy intervals, at the given dt-per-character resolution.
+func (tl *Timeline) RenderASCII(numQubits int, dtPerChar float64) string {
+	if dtPerChar <= 0 {
+		dtPerChar = 16
+	}
+	cols := int(tl.Makespan/dtPerChar) + 1
+	rows := make([][]byte, numQubits)
+	for q := range rows {
+		rows[q] = make([]byte, cols)
+		for i := range rows[q] {
+			rows[q][i] = '.'
+		}
+	}
+	glyphs := "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+	for _, e := range tl.Entries {
+		g := glyphs[e.Index%len(glyphs)]
+		from := int(e.Start / dtPerChar)
+		to := int(e.End / dtPerChar)
+		for _, q := range e.Qubits {
+			if q >= numQubits {
+				continue
+			}
+			for c := from; c <= to && c < cols; c++ {
+				rows[q][c] = g
+			}
+		}
+	}
+	out := ""
+	for q, row := range rows {
+		out += fmt.Sprintf("q%-2d |%s|\n", q, string(row))
+	}
+	return out
+}

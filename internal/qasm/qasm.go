@@ -1,0 +1,447 @@
+// Package qasm imports and exports a practical subset of OpenQASM 2.0 —
+// the interchange format of the benchmark suites the paper draws on
+// (RevLib exports, ScaffCC output, Qiskit dumps). Supported constructs:
+//
+//	OPENQASM 2.0; / include "qelib1.inc";   (header, ignored include)
+//	qreg name[n]; creg name[n];
+//	<gate>(<expr>,…) reg[i], reg[j], …;     (gate application)
+//	barrier …; measure …;                   (accepted, dropped)
+//	// comments
+//
+// Parameter expressions support pi, numeric literals, + - * / and unary
+// minus (covering qelib-style angles like -3*pi/4). Gate names are mapped
+// onto the library in internal/quantum; unknown gates are an error listing
+// the offending line.
+package qasm
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"paqoc/internal/circuit"
+	"paqoc/internal/quantum"
+)
+
+// Parse reads OpenQASM 2.0 source into a circuit. Multiple quantum
+// registers are laid out contiguously in declaration order.
+func Parse(src string) (*circuit.Circuit, error) {
+	p := &parser{regs: map[string]reg{}}
+	// Strip comments, split on ';'.
+	var clean strings.Builder
+	for _, line := range strings.Split(src, "\n") {
+		if i := strings.Index(line, "//"); i >= 0 {
+			line = line[:i]
+		}
+		clean.WriteString(line)
+		clean.WriteString(" ")
+	}
+	stmts := strings.Split(clean.String(), ";")
+	for no, raw := range stmts {
+		stmt := strings.TrimSpace(raw)
+		if stmt == "" {
+			continue
+		}
+		if err := p.statement(stmt); err != nil {
+			return nil, fmt.Errorf("qasm: statement %d (%q): %v", no+1, shorten(stmt), err)
+		}
+	}
+	if p.c == nil {
+		return nil, fmt.Errorf("qasm: no qreg declared")
+	}
+	return p.c, nil
+}
+
+type reg struct {
+	offset, size int
+}
+
+type parser struct {
+	regs  map[string]reg
+	total int
+	c     *circuit.Circuit
+	// pending gates seen before all qregs are declared (qasm requires
+	// declaration before use, so this stays empty in valid programs).
+}
+
+func (p *parser) statement(stmt string) error {
+	switch {
+	case strings.HasPrefix(stmt, "OPENQASM"),
+		strings.HasPrefix(stmt, "include"),
+		strings.HasPrefix(stmt, "barrier"),
+		strings.HasPrefix(stmt, "measure"),
+		strings.HasPrefix(stmt, "creg"):
+		return nil
+	case strings.HasPrefix(stmt, "qreg"):
+		return p.qreg(stmt)
+	default:
+		return p.gate(stmt)
+	}
+}
+
+func (p *parser) qreg(stmt string) error {
+	if p.c != nil {
+		return fmt.Errorf("qreg after first gate is unsupported")
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(stmt, "qreg"))
+	open := strings.IndexByte(rest, '[')
+	close := strings.IndexByte(rest, ']')
+	if open < 0 || close < open {
+		return fmt.Errorf("malformed qreg")
+	}
+	name := strings.TrimSpace(rest[:open])
+	n, err := strconv.Atoi(strings.TrimSpace(rest[open+1 : close]))
+	if err != nil || n <= 0 {
+		return fmt.Errorf("bad qreg size")
+	}
+	if _, dup := p.regs[name]; dup {
+		return fmt.Errorf("duplicate qreg %q", name)
+	}
+	p.regs[name] = reg{offset: p.total, size: n}
+	p.total += n
+	return nil
+}
+
+func (p *parser) gate(stmt string) error {
+	if p.c == nil {
+		if p.total == 0 {
+			return fmt.Errorf("gate before qreg")
+		}
+		p.c = circuit.New(p.total)
+	}
+	head := stmt
+	var params []float64
+	var symbol string
+	if open := strings.IndexByte(stmt, '('); open >= 0 {
+		close := matchParen(stmt, open)
+		if close < 0 {
+			return fmt.Errorf("unbalanced parentheses")
+		}
+		head = stmt[:open] + stmt[close+1:]
+		for _, expr := range splitTop(stmt[open+1:close], ',') {
+			v, sym, err := evalExpr(strings.TrimSpace(expr))
+			if err != nil {
+				return err
+			}
+			if sym != "" {
+				symbol = sym
+			} else {
+				params = append(params, v)
+			}
+		}
+	}
+	fields := strings.Fields(head)
+	if len(fields) < 2 {
+		return fmt.Errorf("gate needs operands")
+	}
+	name := mapGateName(fields[0])
+	if quantum.GateArity(name) == 0 {
+		return fmt.Errorf("unsupported gate %q", fields[0])
+	}
+	operands := strings.Join(fields[1:], "")
+	var qubits []int
+	for _, op := range strings.Split(operands, ",") {
+		q, err := p.resolve(strings.TrimSpace(op))
+		if err != nil {
+			return err
+		}
+		qubits = append(qubits, q)
+	}
+	g := circuit.Gate{Name: name, Qubits: qubits, Params: params, Symbol: symbol}
+	return safeAdd(p.c, g)
+}
+
+func (p *parser) resolve(op string) (int, error) {
+	open := strings.IndexByte(op, '[')
+	close := strings.IndexByte(op, ']')
+	if open < 0 || close < open {
+		return 0, fmt.Errorf("operand %q needs an index (register-wide gates unsupported)", op)
+	}
+	r, ok := p.regs[strings.TrimSpace(op[:open])]
+	if !ok {
+		return 0, fmt.Errorf("unknown register in %q", op)
+	}
+	idx, err := strconv.Atoi(op[open+1 : close])
+	if err != nil || idx < 0 || idx >= r.size {
+		return 0, fmt.Errorf("index out of range in %q", op)
+	}
+	return r.offset + idx, nil
+}
+
+// mapGateName translates qelib names onto the internal library.
+func mapGateName(name string) string {
+	switch name {
+	case "CX":
+		return "cx"
+	case "U", "u":
+		return "u3"
+	case "p", "phase":
+		return "u1"
+	case "toffoli":
+		return "ccx"
+	}
+	return name
+}
+
+// evalExpr evaluates a qelib angle expression; a bare identifier (other
+// than pi) is treated as a symbolic parameter.
+func evalExpr(expr string) (float64, string, error) {
+	expr = strings.TrimSpace(expr)
+	if expr == "" {
+		return 0, "", fmt.Errorf("empty parameter")
+	}
+	if isIdentifier(expr) && expr != "pi" {
+		return 0, expr, nil
+	}
+	v, err := (&exprParser{src: expr}).parse()
+	if err != nil {
+		return 0, "", fmt.Errorf("bad expression %q: %v", expr, err)
+	}
+	return v, "", nil
+}
+
+func isIdentifier(s string) bool {
+	for i, r := range s {
+		ok := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+// exprParser is a tiny recursive-descent evaluator: expr := term (±term)*,
+// term := factor (*/factor)*, factor := -factor | (expr) | pi | number.
+type exprParser struct {
+	src string
+	pos int
+}
+
+func (e *exprParser) parse() (float64, error) {
+	v, err := e.expr()
+	if err != nil {
+		return 0, err
+	}
+	e.skipSpace()
+	if e.pos != len(e.src) {
+		return 0, fmt.Errorf("trailing input at %d", e.pos)
+	}
+	return v, nil
+}
+
+func (e *exprParser) expr() (float64, error) {
+	v, err := e.term()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		e.skipSpace()
+		switch e.peek() {
+		case '+':
+			e.pos++
+			t, err := e.term()
+			if err != nil {
+				return 0, err
+			}
+			v += t
+		case '-':
+			e.pos++
+			t, err := e.term()
+			if err != nil {
+				return 0, err
+			}
+			v -= t
+		default:
+			return v, nil
+		}
+	}
+}
+
+func (e *exprParser) term() (float64, error) {
+	v, err := e.factor()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		e.skipSpace()
+		switch e.peek() {
+		case '*':
+			e.pos++
+			f, err := e.factor()
+			if err != nil {
+				return 0, err
+			}
+			v *= f
+		case '/':
+			e.pos++
+			f, err := e.factor()
+			if err != nil {
+				return 0, err
+			}
+			if f == 0 {
+				return 0, fmt.Errorf("division by zero")
+			}
+			v /= f
+		default:
+			return v, nil
+		}
+	}
+}
+
+func (e *exprParser) factor() (float64, error) {
+	e.skipSpace()
+	switch {
+	case e.peek() == '-':
+		e.pos++
+		v, err := e.factor()
+		return -v, err
+	case e.peek() == '(':
+		e.pos++
+		v, err := e.expr()
+		if err != nil {
+			return 0, err
+		}
+		e.skipSpace()
+		if e.peek() != ')' {
+			return 0, fmt.Errorf("missing )")
+		}
+		e.pos++
+		return v, nil
+	case strings.HasPrefix(e.src[e.pos:], "pi"):
+		e.pos += 2
+		return math.Pi, nil
+	default:
+		start := e.pos
+		for e.pos < len(e.src) {
+			c := e.src[e.pos]
+			if (c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' ||
+				((c == '+' || c == '-') && e.pos > start && (e.src[e.pos-1] == 'e' || e.src[e.pos-1] == 'E')) {
+				e.pos++
+			} else {
+				break
+			}
+		}
+		if start == e.pos {
+			return 0, fmt.Errorf("expected number at %d", start)
+		}
+		return strconv.ParseFloat(e.src[start:e.pos], 64)
+	}
+}
+
+func (e *exprParser) peek() byte {
+	if e.pos >= len(e.src) {
+		return 0
+	}
+	return e.src[e.pos]
+}
+
+func (e *exprParser) skipSpace() {
+	for e.pos < len(e.src) && (e.src[e.pos] == ' ' || e.src[e.pos] == '\t') {
+		e.pos++
+	}
+}
+
+// Export renders a circuit as OpenQASM 2.0 with a single register q.
+// Symbolic parameters export as bare identifiers (re-importable by Parse).
+func Export(c *circuit.Circuit) string {
+	var b strings.Builder
+	b.WriteString("OPENQASM 2.0;\ninclude \"qelib1.inc\";\n")
+	fmt.Fprintf(&b, "qreg q[%d];\n", c.NumQubits)
+	for _, g := range c.Gates {
+		name := g.Name
+		switch name {
+		case "u1":
+			name = "p"
+		}
+		b.WriteString(name)
+		if g.Symbol != "" {
+			fmt.Fprintf(&b, "(%s)", g.Symbol)
+		} else if len(g.Params) > 0 {
+			parts := make([]string, len(g.Params))
+			for i, v := range g.Params {
+				parts[i] = formatAngle(v)
+			}
+			fmt.Fprintf(&b, "(%s)", strings.Join(parts, ","))
+		}
+		b.WriteString(" ")
+		qs := make([]string, len(g.Qubits))
+		for i, q := range g.Qubits {
+			qs[i] = fmt.Sprintf("q[%d]", q)
+		}
+		b.WriteString(strings.Join(qs, ","))
+		b.WriteString(";\n")
+	}
+	return b.String()
+}
+
+// formatAngle renders common multiples of pi symbolically for readability.
+func formatAngle(v float64) string {
+	for _, cand := range []struct {
+		val float64
+		str string
+	}{
+		{math.Pi, "pi"}, {-math.Pi, "-pi"},
+		{math.Pi / 2, "pi/2"}, {-math.Pi / 2, "-pi/2"},
+		{math.Pi / 4, "pi/4"}, {-math.Pi / 4, "-pi/4"},
+		{math.Pi / 8, "pi/8"}, {-math.Pi / 8, "-pi/8"},
+	} {
+		if math.Abs(v-cand.val) < 1e-12 {
+			return cand.str
+		}
+	}
+	return strconv.FormatFloat(v, 'g', 12, 64)
+}
+
+func matchParen(s string, open int) int {
+	depth := 0
+	for i := open; i < len(s); i++ {
+		switch s[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+			if depth == 0 {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// splitTop splits on sep at parenthesis depth zero.
+func splitTop(s string, sep byte) []string {
+	var out []string
+	depth, start := 0, 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case sep:
+			if depth == 0 {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(out, s[start:])
+}
+
+func safeAdd(c *circuit.Circuit, g circuit.Gate) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%v", r)
+		}
+	}()
+	c.AddGate(g)
+	return nil
+}
+
+func shorten(s string) string {
+	if len(s) > 60 {
+		return s[:60] + "…"
+	}
+	return s
+}

@@ -1,0 +1,202 @@
+package qasm
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"paqoc/internal/bench"
+	"paqoc/internal/linalg"
+)
+
+const sample = `
+OPENQASM 2.0;
+include "qelib1.inc";
+// a bell pair plus phases
+qreg q[2];
+creg c[2];
+h q[0];
+cx q[0],q[1];
+rz(pi/4) q[1];
+u3(pi/2, 0, pi) q[0];
+barrier q[0], q[1];
+measure q[0] -> c[0];
+`
+
+func TestParseSample(t *testing.T) {
+	c, err := Parse(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumQubits != 2 {
+		t.Fatalf("qubits = %d", c.NumQubits)
+	}
+	if len(c.Gates) != 4 {
+		t.Fatalf("gates = %d: %v", len(c.Gates), c.Gates)
+	}
+	if c.Gates[2].Name != "rz" || math.Abs(c.Gates[2].Params[0]-math.Pi/4) > 1e-12 {
+		t.Errorf("rz parse wrong: %+v", c.Gates[2])
+	}
+	if c.Gates[3].Name != "u3" || len(c.Gates[3].Params) != 3 {
+		t.Errorf("u3 parse wrong: %+v", c.Gates[3])
+	}
+}
+
+func TestParseMultipleRegisters(t *testing.T) {
+	src := `OPENQASM 2.0; qreg a[2]; qreg b[3]; cx a[1],b[0]; h b[2];`
+	c, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumQubits != 5 {
+		t.Fatalf("qubits = %d", c.NumQubits)
+	}
+	// a[1] → 1, b[0] → 2, b[2] → 4.
+	if c.Gates[0].Qubits[0] != 1 || c.Gates[0].Qubits[1] != 2 {
+		t.Errorf("register layout wrong: %v", c.Gates[0])
+	}
+	if c.Gates[1].Qubits[0] != 4 {
+		t.Errorf("b[2] resolved to %d", c.Gates[1].Qubits[0])
+	}
+}
+
+func TestParseExpressions(t *testing.T) {
+	cases := map[string]float64{
+		"pi":          math.Pi,
+		"-pi/2":       -math.Pi / 2,
+		"3*pi/4":      3 * math.Pi / 4,
+		"0.5":         0.5,
+		"-(pi+1)":     -(math.Pi + 1),
+		"2e-3":        2e-3,
+		"pi/2 + pi/4": 3 * math.Pi / 4,
+		"(1+2)*3":     9,
+	}
+	for expr, want := range cases {
+		v, sym, err := evalExpr(expr)
+		if err != nil || sym != "" {
+			t.Fatalf("%q: %v (sym %q)", expr, err, sym)
+		}
+		if math.Abs(v-want) > 1e-12 {
+			t.Errorf("%q = %g, want %g", expr, v, want)
+		}
+	}
+}
+
+func TestParseSymbolicParameter(t *testing.T) {
+	src := `OPENQASM 2.0; qreg q[1]; rz(theta) q[0];`
+	c, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Gates[0].Symbol != "theta" {
+		t.Errorf("symbol = %q", c.Gates[0].Symbol)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		`h q[0];`,                                // gate before qreg
+		`OPENQASM 2.0; qreg q[0];`,               // zero-size reg
+		`OPENQASM 2.0; qreg q[2]; zap q[0];`,     // unknown gate
+		`OPENQASM 2.0; qreg q[2]; cx q[0],q[5];`, // out of range
+		`OPENQASM 2.0; qreg q[2]; cx q[0],r[1];`, // unknown register
+		`OPENQASM 2.0; qreg q[2]; cx q,q;`,       // register-wide unsupported
+		`OPENQASM 2.0; qreg q[2]; rz(pi// q[0];`, // broken expr
+		`OPENQASM 2.0; qreg q[2]; qreg q[2];`,    // duplicate
+		`OPENQASM 2.0; qreg q[2]; cx q[0],q[0];`, // duplicate operand
+		`OPENQASM 2.0; qreg q[2]; rz(1/0) q[0];`, // division by zero
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestRoundTripSemantics(t *testing.T) {
+	// Export → Parse must preserve the circuit unitary.
+	for _, name := range []string{"qaoa", "simon"} {
+		spec, _ := bench.ByName(name)
+		orig := spec.Build()
+		if orig.NumQubits > 10 {
+			continue
+		}
+		back, err := Parse(Export(orig))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		uo, err := orig.Unitary(10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ub, err := back.Unitary(10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if linalg.GlobalPhaseDistance(uo, ub) > 1e-8 {
+			t.Errorf("%s: round trip changed the unitary", name)
+		}
+	}
+}
+
+func TestRoundTripSymbolic(t *testing.T) {
+	spec, _ := bench.ByName("qaoa")
+	_ = spec
+	sym := bench.QAOAMaxcutSymbolic(4)
+	back, err := Parse(Export(sym))
+	if err != nil {
+		t.Fatal(err)
+	}
+	symbols := 0
+	for _, g := range back.Gates {
+		if g.IsSymbolic() {
+			symbols++
+		}
+	}
+	want := 0
+	for _, g := range sym.Gates {
+		if g.IsSymbolic() {
+			want++
+		}
+	}
+	if symbols != want {
+		t.Errorf("symbolic gates %d, want %d", symbols, want)
+	}
+}
+
+func TestExportReadable(t *testing.T) {
+	spec, _ := bench.ByName("qft")
+	out := Export(spec.Build())
+	if !strings.Contains(out, "OPENQASM 2.0;") || !strings.Contains(out, "qreg q[16];") {
+		t.Error("header missing")
+	}
+	if !strings.Contains(out, "pi/2") {
+		t.Error("angles should render symbolically where possible")
+	}
+}
+
+func TestGateNameMapping(t *testing.T) {
+	src := `OPENQASM 2.0; qreg q[3]; CX q[0],q[1]; p(pi) q[0]; U(0,0,pi) q[2];`
+	c, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Gates[0].Name != "cx" || c.Gates[1].Name != "u1" || c.Gates[2].Name != "u3" {
+		t.Errorf("name mapping wrong: %v", c.Gates)
+	}
+}
+
+func FuzzParse(f *testing.F) {
+	f.Add(sample)
+	f.Add(`OPENQASM 2.0; qreg q[3]; ccx q[0],q[1],q[2];`)
+	f.Add(`qreg a[1]; rz(-3*pi/4) a[0];`)
+	f.Fuzz(func(t *testing.T, src string) {
+		// Must never panic; errors are fine.
+		c, err := Parse(src)
+		if err == nil && c != nil {
+			// Exported output of a successful parse must re-parse.
+			if _, err2 := Parse(Export(c)); err2 != nil {
+				t.Fatalf("export of valid circuit does not re-parse: %v", err2)
+			}
+		}
+	})
+}

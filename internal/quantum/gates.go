@@ -1,0 +1,281 @@
+// Package quantum provides the standard gate library: names, arities,
+// unitary matrices (including parameterized rotations), and helpers for
+// embedding gate unitaries into multi-qubit Hilbert spaces. Qubit 0 is the
+// most significant bit of the computational-basis index, matching the
+// little-endian-on-wires convention used throughout the circuit IR.
+package quantum
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"paqoc/internal/linalg"
+)
+
+// Common fixed 2x2 unitaries.
+var (
+	sqrt1_2 = complex(1/math.Sqrt2, 0)
+
+	// MatI is the single-qubit identity.
+	MatI = linalg.FromRows([][]complex128{{1, 0}, {0, 1}})
+	// MatX is the Pauli-X (NOT) gate.
+	MatX = linalg.FromRows([][]complex128{{0, 1}, {1, 0}})
+	// MatY is the Pauli-Y gate.
+	MatY = linalg.FromRows([][]complex128{{0, -1i}, {1i, 0}})
+	// MatZ is the Pauli-Z gate.
+	MatZ = linalg.FromRows([][]complex128{{1, 0}, {0, -1}})
+	// MatH is the Hadamard gate.
+	MatH = linalg.FromRows([][]complex128{{sqrt1_2, sqrt1_2}, {sqrt1_2, -sqrt1_2}})
+	// MatS is the phase gate S = sqrt(Z).
+	MatS = linalg.FromRows([][]complex128{{1, 0}, {0, 1i}})
+	// MatSdg is S†.
+	MatSdg = linalg.FromRows([][]complex128{{1, 0}, {0, -1i}})
+	// MatT is the T gate (π/8).
+	MatT = linalg.FromRows([][]complex128{{1, 0}, {0, cmplx.Exp(1i * math.Pi / 4)}})
+	// MatTdg is T†.
+	MatTdg = linalg.FromRows([][]complex128{{1, 0}, {0, cmplx.Exp(-1i * math.Pi / 4)}})
+	// MatSX is sqrt(X), a native IBM basis gate.
+	MatSX = linalg.FromRows([][]complex128{
+		{0.5 + 0.5i, 0.5 - 0.5i},
+		{0.5 - 0.5i, 0.5 + 0.5i},
+	})
+)
+
+// RX returns the rotation e^{-i θ X/2}.
+func RX(theta float64) *linalg.Matrix {
+	c, s := math.Cos(theta/2), math.Sin(theta/2)
+	return linalg.FromRows([][]complex128{
+		{complex(c, 0), complex(0, -s)},
+		{complex(0, -s), complex(c, 0)},
+	})
+}
+
+// RY returns the rotation e^{-i θ Y/2}.
+func RY(theta float64) *linalg.Matrix {
+	c, s := math.Cos(theta/2), math.Sin(theta/2)
+	return linalg.FromRows([][]complex128{
+		{complex(c, 0), complex(-s, 0)},
+		{complex(s, 0), complex(c, 0)},
+	})
+}
+
+// RZ returns the rotation e^{-i θ Z/2}.
+func RZ(theta float64) *linalg.Matrix {
+	return linalg.FromRows([][]complex128{
+		{cmplx.Exp(complex(0, -theta/2)), 0},
+		{0, cmplx.Exp(complex(0, theta/2))},
+	})
+}
+
+// U1 returns the phase gate diag(1, e^{iλ}) (equal to RZ up to global phase).
+func U1(lambda float64) *linalg.Matrix {
+	return linalg.FromRows([][]complex128{{1, 0}, {0, cmplx.Exp(complex(0, lambda))}})
+}
+
+// U2 returns the IBM U2(φ, λ) gate.
+func U2(phi, lambda float64) *linalg.Matrix {
+	return U3(math.Pi/2, phi, lambda)
+}
+
+// U3 returns the general single-qubit gate U3(θ, φ, λ).
+func U3(theta, phi, lambda float64) *linalg.Matrix {
+	c, s := math.Cos(theta/2), math.Sin(theta/2)
+	return linalg.FromRows([][]complex128{
+		{complex(c, 0), -cmplx.Exp(complex(0, lambda)) * complex(s, 0)},
+		{cmplx.Exp(complex(0, phi)) * complex(s, 0), cmplx.Exp(complex(0, phi+lambda)) * complex(c, 0)},
+	})
+}
+
+// Two-qubit fixed unitaries, qubit order (control, target) = (q0, q1) with
+// q0 the most significant index bit.
+var (
+	// MatCX is the controlled-NOT with control on the first qubit.
+	MatCX = linalg.FromRows([][]complex128{
+		{1, 0, 0, 0},
+		{0, 1, 0, 0},
+		{0, 0, 0, 1},
+		{0, 0, 1, 0},
+	})
+	// MatCZ is the controlled-Z gate (symmetric in its qubits).
+	MatCZ = linalg.FromRows([][]complex128{
+		{1, 0, 0, 0},
+		{0, 1, 0, 0},
+		{0, 0, 1, 0},
+		{0, 0, 0, -1},
+	})
+	// MatSWAP exchanges two qubits.
+	MatSWAP = linalg.FromRows([][]complex128{
+		{1, 0, 0, 0},
+		{0, 0, 1, 0},
+		{0, 1, 0, 0},
+		{0, 0, 0, 1},
+	})
+	// MatISWAP is the iSWAP gate, native to XY-coupled hardware.
+	MatISWAP = linalg.FromRows([][]complex128{
+		{1, 0, 0, 0},
+		{0, 0, 1i, 0},
+		{0, 1i, 0, 0},
+		{0, 0, 0, 1},
+	})
+)
+
+// CPhase returns the controlled-phase gate diag(1,1,1,e^{iλ}).
+func CPhase(lambda float64) *linalg.Matrix {
+	m := linalg.Identity(4)
+	m.Set(3, 3, cmplx.Exp(complex(0, lambda)))
+	return m
+}
+
+// CRZ returns the controlled-RZ gate.
+func CRZ(theta float64) *linalg.Matrix {
+	m := linalg.Identity(4)
+	m.Set(2, 2, cmplx.Exp(complex(0, -theta/2)))
+	m.Set(3, 3, cmplx.Exp(complex(0, theta/2)))
+	return m
+}
+
+// MatCCX is the Toffoli gate (controls on qubits 0 and 1, target qubit 2).
+var MatCCX = func() *linalg.Matrix {
+	m := linalg.Identity(8)
+	m.Set(6, 6, 0)
+	m.Set(7, 7, 0)
+	m.Set(6, 7, 1)
+	m.Set(7, 6, 1)
+	return m
+}()
+
+// MatCCZ is the doubly-controlled Z gate.
+var MatCCZ = func() *linalg.Matrix {
+	m := linalg.Identity(8)
+	m.Set(7, 7, -1)
+	return m
+}()
+
+// MatCSWAP is the Fredkin (controlled-SWAP) gate, control on qubit 0.
+var MatCSWAP = func() *linalg.Matrix {
+	m := linalg.Identity(8)
+	m.Set(5, 5, 0)
+	m.Set(6, 6, 0)
+	m.Set(5, 6, 1)
+	m.Set(6, 5, 1)
+	return m
+}()
+
+// GateUnitary returns the unitary for a named gate with the given
+// parameters. It returns an error for unknown names or wrong parameter
+// counts. Names are lowercase, matching the circuit IR.
+func GateUnitary(name string, params []float64) (*linalg.Matrix, error) {
+	need := func(n int) error {
+		if len(params) != n {
+			return fmt.Errorf("quantum: gate %q wants %d params, got %d", name, n, len(params))
+		}
+		return nil
+	}
+	switch name {
+	case "id":
+		return MatI.Clone(), need(0)
+	case "x":
+		return MatX.Clone(), need(0)
+	case "y":
+		return MatY.Clone(), need(0)
+	case "z":
+		return MatZ.Clone(), need(0)
+	case "h":
+		return MatH.Clone(), need(0)
+	case "s":
+		return MatS.Clone(), need(0)
+	case "sdg":
+		return MatSdg.Clone(), need(0)
+	case "t":
+		return MatT.Clone(), need(0)
+	case "tdg":
+		return MatTdg.Clone(), need(0)
+	case "sx":
+		return MatSX.Clone(), need(0)
+	case "rx":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return RX(params[0]), nil
+	case "ry":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return RY(params[0]), nil
+	case "rz":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return RZ(params[0]), nil
+	case "u1":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return U1(params[0]), nil
+	case "u2":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return U2(params[0], params[1]), nil
+	case "u3":
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		return U3(params[0], params[1], params[2]), nil
+	case "cx":
+		return MatCX.Clone(), need(0)
+	case "cz":
+		return MatCZ.Clone(), need(0)
+	case "swap":
+		return MatSWAP.Clone(), need(0)
+	case "iswap":
+		return MatISWAP.Clone(), need(0)
+	case "cp", "cphase":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return CPhase(params[0]), nil
+	case "cu1":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return CPhase(params[0]), nil
+	case "crz":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return CRZ(params[0]), nil
+	case "ccx", "toffoli":
+		return MatCCX.Clone(), need(0)
+	case "ccz":
+		return MatCCZ.Clone(), need(0)
+	case "cswap":
+		return MatCSWAP.Clone(), need(0)
+	}
+	return nil, fmt.Errorf("quantum: unknown gate %q", name)
+}
+
+// GateArity returns the number of qubits a named gate acts on, or 0 if the
+// gate is unknown.
+func GateArity(name string) int {
+	switch name {
+	case "id", "x", "y", "z", "h", "s", "sdg", "t", "tdg", "sx", "rx", "ry", "rz", "u1", "u2", "u3":
+		return 1
+	case "cx", "cz", "swap", "iswap", "cp", "cphase", "cu1", "crz":
+		return 2
+	case "ccx", "toffoli", "ccz", "cswap":
+		return 3
+	}
+	return 0
+}
+
+// IsControlled reports whether the named gate has control qubit(s) leading
+// its operand list; used by the miner's edge labelling (§III-A).
+func IsControlled(name string) bool {
+	switch name {
+	case "cx", "cz", "cp", "cphase", "cu1", "crz", "ccx", "toffoli", "ccz", "cswap":
+		return true
+	}
+	return false
+}

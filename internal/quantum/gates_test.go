@@ -1,0 +1,281 @@
+package quantum
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"paqoc/internal/linalg"
+)
+
+var allFixedGates = []string{
+	"id", "x", "y", "z", "h", "s", "sdg", "t", "tdg", "sx",
+	"cx", "cz", "swap", "iswap", "ccx", "ccz", "cswap",
+}
+
+func TestAllFixedGatesUnitary(t *testing.T) {
+	for _, name := range allFixedGates {
+		u, err := GateUnitary(name, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !u.IsUnitary(1e-12) {
+			t.Errorf("%s is not unitary", name)
+		}
+		if got := QubitCount(u); got != GateArity(name) {
+			t.Errorf("%s: dim implies %d qubits, arity says %d", name, got, GateArity(name))
+		}
+	}
+}
+
+func TestParameterizedGatesUnitary(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		theta := rng.Float64()*4*math.Pi - 2*math.Pi
+		for _, g := range []struct {
+			name   string
+			params []float64
+		}{
+			{"rx", []float64{theta}},
+			{"ry", []float64{theta}},
+			{"rz", []float64{theta}},
+			{"u1", []float64{theta}},
+			{"u2", []float64{theta, theta / 2}},
+			{"u3", []float64{theta, theta / 2, theta / 3}},
+			{"cp", []float64{theta}},
+			{"crz", []float64{theta}},
+		} {
+			u, err := GateUnitary(g.name, g.params)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !u.IsUnitary(1e-12) {
+				t.Errorf("%s(%v) not unitary", g.name, g.params)
+			}
+		}
+	}
+}
+
+func TestUnknownGate(t *testing.T) {
+	if _, err := GateUnitary("frobnicate", nil); err == nil {
+		t.Error("expected error for unknown gate")
+	}
+	if GateArity("frobnicate") != 0 {
+		t.Error("unknown arity should be 0")
+	}
+}
+
+func TestWrongParamCount(t *testing.T) {
+	if _, err := GateUnitary("rx", nil); err == nil {
+		t.Error("rx with no params should error")
+	}
+	if _, err := GateUnitary("h", []float64{1}); err == nil {
+		t.Error("h with a param should error")
+	}
+}
+
+func TestPauliAlgebra(t *testing.T) {
+	// X² = Y² = Z² = I, XY = iZ, HXH = Z.
+	id := linalg.Identity(2)
+	if !MatX.Mul(MatX).Equal(id, 1e-12) {
+		t.Error("X² != I")
+	}
+	if !MatY.Mul(MatY).Equal(id, 1e-12) {
+		t.Error("Y² != I")
+	}
+	if !MatX.Mul(MatY).Equal(MatZ.Scale(1i), 1e-12) {
+		t.Error("XY != iZ")
+	}
+	if !MatH.Mul(MatX).Mul(MatH).Equal(MatZ, 1e-12) {
+		t.Error("HXH != Z")
+	}
+}
+
+func TestSqrtGates(t *testing.T) {
+	if !MatS.Mul(MatS).Equal(MatZ, 1e-12) {
+		t.Error("S² != Z")
+	}
+	if !MatT.Mul(MatT).Equal(MatS, 1e-12) {
+		t.Error("T² != S")
+	}
+	if !MatSX.Mul(MatSX).Equal(MatX, 1e-12) {
+		t.Error("SX² != X")
+	}
+}
+
+func TestRotationComposition(t *testing.T) {
+	// RZ(a)·RZ(b) = RZ(a+b)
+	a, b := 0.6, 1.7
+	if !RZ(a).Mul(RZ(b)).Equal(RZ(a+b), 1e-12) {
+		t.Error("RZ additivity fails")
+	}
+	// RX(2π) = -I
+	if !RX(2*math.Pi).Equal(linalg.Identity(2).Scale(-1), 1e-12) {
+		t.Error("RX(2π) != -I")
+	}
+}
+
+func TestU3Specialisations(t *testing.T) {
+	// U3(π/2, 0, π) = H.
+	if linalg.GlobalPhaseDistance(U3(math.Pi/2, 0, math.Pi), MatH) > 1e-12 {
+		t.Error("U3(π/2,0,π) != H")
+	}
+	// U1(λ) matches RZ(λ) up to a global phase.
+	if linalg.GlobalPhaseDistance(U1(0.83), RZ(0.83)) > 1e-12 {
+		t.Error("U1 != RZ up to phase")
+	}
+}
+
+func TestCXConstruction(t *testing.T) {
+	// CX = |0><0| ⊗ I + |1><1| ⊗ X
+	p0 := linalg.FromRows([][]complex128{{1, 0}, {0, 0}})
+	p1 := linalg.FromRows([][]complex128{{0, 0}, {0, 1}})
+	want := p0.Kron(MatI).Add(p1.Kron(MatX))
+	if !MatCX.Equal(want, 1e-12) {
+		t.Error("CX projector decomposition mismatch")
+	}
+}
+
+func TestSWAPFromThreeCX(t *testing.T) {
+	// SWAP = CX(0,1)·CX(1,0)·CX(0,1)
+	cxRev := PermuteQubits(MatCX, []int{1, 0})
+	got := MatCX.Mul(cxRev).Mul(MatCX)
+	if !got.Equal(MatSWAP, 1e-12) {
+		t.Error("three CXs do not make a SWAP")
+	}
+}
+
+func TestCZSymmetric(t *testing.T) {
+	if !PermuteQubits(MatCZ, []int{1, 0}).Equal(MatCZ, 1e-12) {
+		t.Error("CZ should be symmetric under qubit exchange")
+	}
+	if PermuteQubits(MatCX, []int{1, 0}).Equal(MatCX, 1e-12) {
+		t.Error("CX should NOT be symmetric under qubit exchange")
+	}
+}
+
+func TestCZFromHCXH(t *testing.T) {
+	// CZ = (I⊗H)·CX·(I⊗H)
+	ih := MatI.Kron(MatH)
+	if !ih.Mul(MatCX).Mul(ih).Equal(MatCZ, 1e-12) {
+		t.Error("CZ != (I⊗H)CX(I⊗H)")
+	}
+}
+
+func TestToffoli(t *testing.T) {
+	// CCX flips the target only when both controls are 1.
+	for in := 0; in < 8; in++ {
+		vec := make([]complex128, 8)
+		vec[in] = 1
+		out := MatCCX.MulVec(vec)
+		want := in
+		if in>>2&1 == 1 && in>>1&1 == 1 {
+			want = in ^ 1
+		}
+		for i, v := range out {
+			expect := complex128(0)
+			if i == want {
+				expect = 1
+			}
+			if v != expect {
+				t.Fatalf("CCX|%03b> wrong at %d: %v", in, i, v)
+			}
+		}
+	}
+}
+
+func TestEmbedSingleOnTwo(t *testing.T) {
+	// X on wire 1 of 2 qubits = I ⊗ X.
+	got := Embed(MatX, []int{1}, 2)
+	if !got.Equal(MatI.Kron(MatX), 1e-12) {
+		t.Error("Embed(X, wire 1) != I⊗X")
+	}
+	// X on wire 0 = X ⊗ I.
+	got = Embed(MatX, []int{0}, 2)
+	if !got.Equal(MatX.Kron(MatI), 1e-12) {
+		t.Error("Embed(X, wire 0) != X⊗I")
+	}
+}
+
+func TestEmbedAdjacentMatchesKron(t *testing.T) {
+	got := Embed(MatCX, []int{0, 1}, 3)
+	if !got.Equal(MatCX.Kron(MatI), 1e-12) {
+		t.Error("Embed(CX, 0,1 of 3) != CX⊗I")
+	}
+	got = Embed(MatCX, []int{1, 2}, 3)
+	if !got.Equal(MatI.Kron(MatCX), 1e-12) {
+		t.Error("Embed(CX, 1,2 of 3) != I⊗CX")
+	}
+}
+
+func TestEmbedNonAdjacent(t *testing.T) {
+	// CX with control 0, target 2 on 3 qubits: check action on basis states.
+	u := Embed(MatCX, []int{0, 2}, 3)
+	for in := 0; in < 8; in++ {
+		vec := make([]complex128, 8)
+		vec[in] = 1
+		out := u.MulVec(vec)
+		want := in
+		if in>>2&1 == 1 { // control (qubit 0, MSB) set → flip target (qubit 2, LSB)
+			want = in ^ 1
+		}
+		if out[want] != 1 {
+			t.Fatalf("CX(0→2)|%03b>: expected |%03b>", in, want)
+		}
+	}
+}
+
+func TestEmbedReversedWires(t *testing.T) {
+	// CX with control 1, target 0 on 2 qubits.
+	u := Embed(MatCX, []int{1, 0}, 2)
+	want := PermuteQubits(MatCX, []int{1, 0})
+	if !u.Equal(want, 1e-12) {
+		t.Error("Embed with reversed wires mismatch")
+	}
+}
+
+func TestEmbedPreservesUnitarity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		u := RX(rng.Float64() * math.Pi)
+		w := rng.Intn(4)
+		return Embed(u, []int{w}, 4).IsUnitary(1e-10)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSequenceUnitaryOrder(t *testing.T) {
+	// H then CX on |00> gives a Bell state.
+	total := SequenceUnitary(2, []EmbeddedOp{
+		{U: MatH, Wires: []int{0}},
+		{U: MatCX, Wires: []int{0, 1}},
+	})
+	vec := total.MulVec([]complex128{1, 0, 0, 0})
+	s := 1 / math.Sqrt2
+	if math.Abs(real(vec[0])-s) > 1e-12 || math.Abs(real(vec[3])-s) > 1e-12 {
+		t.Errorf("Bell state wrong: %v", vec)
+	}
+}
+
+func TestPermuteQubitsIdentityPerm(t *testing.T) {
+	if !PermuteQubits(MatCX, []int{0, 1}).Equal(MatCX, 1e-12) {
+		t.Error("identity permutation changed the unitary")
+	}
+}
+
+func TestPermuteQubitsInvolution(t *testing.T) {
+	u := MatCX.Clone()
+	p := PermuteQubits(PermuteQubits(u, []int{1, 0}), []int{1, 0})
+	if !p.Equal(u, 1e-12) {
+		t.Error("double swap-permute is not identity")
+	}
+}
+
+func TestIsControlled(t *testing.T) {
+	if !IsControlled("cx") || !IsControlled("ccx") || IsControlled("swap") || IsControlled("h") {
+		t.Error("IsControlled misclassifies")
+	}
+}

@@ -1,0 +1,254 @@
+package route
+
+import (
+	"math/rand"
+	"testing"
+
+	"paqoc/internal/circuit"
+	"paqoc/internal/linalg"
+	"paqoc/internal/quantum"
+	"paqoc/internal/topology"
+)
+
+func TestRouteAlreadyCompliant(t *testing.T) {
+	c := circuit.New(3)
+	c.Add("h", 0)
+	c.Add("cx", 0, 1)
+	c.Add("cx", 1, 2)
+	res, err := Route(c, topology.Line(3), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SwapCount != 0 {
+		t.Errorf("compliant circuit got %d swaps", res.SwapCount)
+	}
+	if len(res.Physical.Gates) != 3 {
+		t.Errorf("gate count changed: %d", len(res.Physical.Gates))
+	}
+}
+
+func TestRouteInsertsSwaps(t *testing.T) {
+	c := circuit.New(3)
+	c.Add("cx", 0, 2) // endpoints of a 3-qubit line: needs movement
+	res, err := Route(c, topology.Line(3), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SwapCount == 0 {
+		t.Error("expected at least one swap")
+	}
+	checkCompliance(t, res.Physical, topology.Line(3))
+}
+
+func TestRouteRejectsThreeQubitGates(t *testing.T) {
+	c := circuit.New(3)
+	c.Add("ccx", 0, 1, 2)
+	if _, err := Route(c, topology.Line(3), DefaultOptions()); err == nil {
+		t.Error("expected error for 3-qubit gate")
+	}
+}
+
+func TestRouteRejectsOversizedCircuit(t *testing.T) {
+	c := circuit.New(10)
+	c.Add("h", 9)
+	if _, err := Route(c, topology.Line(3), DefaultOptions()); err == nil {
+		t.Error("expected size error")
+	}
+}
+
+func TestRouteBadInitialMap(t *testing.T) {
+	c := circuit.New(2)
+	c.Add("cx", 0, 1)
+	opts := DefaultOptions()
+	opts.InitialMap = []int{0, 0} // duplicate
+	if _, err := Route(c, topology.Line(2), opts); err == nil {
+		t.Error("expected duplicate-map error")
+	}
+	opts.InitialMap = []int{0} // wrong length
+	if _, err := Route(c, topology.Line(2), opts); err == nil {
+		t.Error("expected length error")
+	}
+}
+
+func TestRouteComplianceRandomOnGrid(t *testing.T) {
+	topo := topology.Grid(3, 3)
+	for seed := int64(0); seed < 10; seed++ {
+		c := randomTwoQubitCircuit(seed, 9, 40)
+		res, err := Route(c, topo, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkCompliance(t, res.Physical, topo)
+	}
+}
+
+func TestRouteSemanticsPreserved(t *testing.T) {
+	// The routed circuit, conjugated by the permutations implied by the
+	// initial and final maps, must equal the logical unitary.
+	topo := topology.Line(4)
+	for seed := int64(0); seed < 8; seed++ {
+		c := randomTwoQubitCircuit(seed, 4, 15)
+		res, err := Route(c, topo, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		logical, err := c.Unitary(6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		physical, err := res.Physical.Unitary(6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// physical · P_init = P_final · logical, where P_m maps logical
+		// qubit l onto physical wire m[l].
+		pInit := permutationUnitary(res.InitialMap, topo.NumQubits)
+		pFinal := permutationUnitary(res.FinalMap, topo.NumQubits)
+		left := physical.Mul(pInit)
+		right := pFinal.Mul(logicalLifted(logical, topo.NumQubits, c.NumQubits))
+		if linalg.GlobalPhaseDistance(left, right) > 1e-8 {
+			t.Fatalf("seed %d: routed circuit is not semantically equivalent", seed)
+		}
+	}
+}
+
+func TestRouteFarApartOnGridTerminates(t *testing.T) {
+	topo := topology.Grid(5, 5)
+	c := circuit.New(25)
+	// Repeatedly entangle opposite corners — a stress test for the
+	// heuristic's livelock guard.
+	for i := 0; i < 10; i++ {
+		c.Add("cx", 0, 24)
+		c.Add("cx", 4, 20)
+	}
+	res, err := Route(c, topo, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCompliance(t, res.Physical, topo)
+}
+
+func checkCompliance(t *testing.T, c *circuit.Circuit, topo *topology.Topology) {
+	t.Helper()
+	for _, g := range c.Gates {
+		if g.Arity() == 2 && !topo.Connected(g.Qubits[0], g.Qubits[1]) {
+			t.Fatalf("gate %v violates topology", g)
+		}
+	}
+}
+
+// permutationUnitary builds the unitary that relocates logical qubit l to
+// physical wire m[l] on an n-wire register (unmapped wires stay put).
+func permutationUnitary(m []int, n int) *linalg.Matrix {
+	// Build a full permutation perm[wire] = source wire.
+	target := make([]int, n)
+	for i := range target {
+		target[i] = -1
+	}
+	for l, p := range m {
+		target[p] = l
+	}
+	next := len(m)
+	for p := 0; p < n; p++ {
+		if target[p] == -1 {
+			target[p] = next
+			next++
+		}
+	}
+	dim := 1 << n
+	out := linalg.New(dim, dim)
+	for col := 0; col < dim; col++ {
+		row := 0
+		for p := 0; p < n; p++ {
+			bit := (col >> (n - 1 - target[p])) & 1
+			row |= bit << (n - 1 - p)
+		}
+		out.Set(row, col, 1)
+	}
+	return out
+}
+
+// logicalLifted embeds a k-qubit unitary on the first k wires of n.
+func logicalLifted(u *linalg.Matrix, n, k int) *linalg.Matrix {
+	wires := make([]int, k)
+	for i := range wires {
+		wires[i] = i
+	}
+	return quantum.Embed(u, wires, n)
+}
+
+func randomTwoQubitCircuit(seed int64, nq, gates int) *circuit.Circuit {
+	rng := rand.New(rand.NewSource(seed))
+	c := circuit.New(nq)
+	for i := 0; i < gates; i++ {
+		if rng.Intn(3) == 0 {
+			c.Add("h", rng.Intn(nq))
+		} else {
+			a, b := rng.Intn(nq), rng.Intn(nq)
+			for b == a {
+				b = rng.Intn(nq)
+			}
+			c.Add("cx", a, b)
+		}
+	}
+	return c
+}
+
+func BenchmarkRouteGrid5x5(b *testing.B) {
+	topo := topology.Grid(5, 5)
+	c := randomTwoQubitCircuit(7, 25, 200)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Route(c, topo, DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestRouteBidirectionalNeverWorse(t *testing.T) {
+	topo := topology.Grid(3, 3)
+	improved := 0
+	for seed := int64(0); seed < 12; seed++ {
+		c := randomTwoQubitCircuit(seed, 9, 50)
+		plain, err := Route(c, topo, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		bi, err := RouteBidirectional(c, topo, DefaultOptions(), 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bi.SwapCount > plain.SwapCount {
+			t.Errorf("seed %d: bidirectional %d swaps > plain %d", seed, bi.SwapCount, plain.SwapCount)
+		}
+		if bi.SwapCount < plain.SwapCount {
+			improved++
+		}
+		checkCompliance(t, bi.Physical, topo)
+	}
+	if improved == 0 {
+		t.Error("bidirectional refinement never improved any seed; expected at least one win")
+	}
+}
+
+func TestRouteBidirectionalSemantics(t *testing.T) {
+	topo := topology.Line(4)
+	c := randomTwoQubitCircuit(3, 4, 12)
+	res, err := RouteBidirectional(c, topo, DefaultOptions(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logical, err := c.Unitary(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	physical, err := res.Physical.Unitary(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	left := physical.Mul(permutationUnitary(res.InitialMap, topo.NumQubits))
+	right := permutationUnitary(res.FinalMap, topo.NumQubits).Mul(logicalLifted(logical, topo.NumQubits, c.NumQubits))
+	if linalg.GlobalPhaseDistance(left, right) > 1e-8 {
+		t.Error("bidirectional routing broke semantics")
+	}
+}

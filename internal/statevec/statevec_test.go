@@ -1,0 +1,240 @@
+package statevec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"paqoc/internal/bench"
+	"paqoc/internal/circuit"
+	"paqoc/internal/quantum"
+)
+
+func TestNewStateBounds(t *testing.T) {
+	if _, err := NewState(0); err == nil {
+		t.Error("0 qubits should fail")
+	}
+	if _, err := NewState(MaxQubits + 1); err == nil {
+		t.Error("too many qubits should fail")
+	}
+	s, err := NewState(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Probability(0) != 1 {
+		t.Error("initial state should be |000>")
+	}
+}
+
+func TestBasisState(t *testing.T) {
+	s, err := NewBasisState(3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Probability(5) != 1 {
+		t.Error("basis state wrong")
+	}
+	if _, err := NewBasisState(2, 4); err == nil {
+		t.Error("out-of-range index should fail")
+	}
+}
+
+func TestBellState(t *testing.T) {
+	c := circuit.New(2)
+	c.Add("h", 0)
+	c.Add("cx", 0, 1)
+	s, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Probability(0)-0.5) > 1e-12 || math.Abs(s.Probability(3)-0.5) > 1e-12 {
+		t.Errorf("Bell probabilities wrong: %v", s.Amps)
+	}
+	if math.Abs(s.Norm()-1) > 1e-12 {
+		t.Error("norm drift")
+	}
+}
+
+func TestAgainstDenseUnitary(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	names := []string{"h", "t", "s", "x", "sx"}
+	for trial := 0; trial < 10; trial++ {
+		c := circuit.New(4)
+		for i := 0; i < 25; i++ {
+			switch rng.Intn(3) {
+			case 0:
+				c.Add(names[rng.Intn(len(names))], rng.Intn(4))
+			case 1:
+				c.AddParam("rz", []float64{rng.Float64() * 2 * math.Pi}, rng.Intn(4))
+			default:
+				a, b := rng.Intn(4), rng.Intn(4)
+				for b == a {
+					b = rng.Intn(4)
+				}
+				c.Add("cx", a, b)
+			}
+		}
+		s, err := Run(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u, err := c.Unitary(5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vec := make([]complex128, 16)
+		vec[0] = 1
+		want := u.MulVec(vec)
+		for i := range want {
+			if d := cmAbs(want[i] - s.Amps[i]); d > 1e-9 {
+				t.Fatalf("trial %d: amp %d differs by %g", trial, i, d)
+			}
+		}
+	}
+}
+
+func TestThreeQubitGateApplication(t *testing.T) {
+	// CCX via statevector on non-adjacent wires.
+	s, _ := NewBasisState(4, 0b1011) // q0=1, q1=0, q2=1, q3=1
+	if err := s.ApplyUnitary(quantum.MatCCX, []int{0, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	// controls q0=1, q2=1 → flip q3: 1011 → 1010.
+	if s.Probability(0b1010) != 1 {
+		t.Errorf("CCX application wrong: %v", s.Amps)
+	}
+}
+
+func TestApplyErrors(t *testing.T) {
+	s, _ := NewState(2)
+	if err := s.ApplyUnitary(quantum.MatCX, []int{0}); err == nil {
+		t.Error("dim mismatch should fail")
+	}
+	if err := s.ApplyUnitary(quantum.MatCX, []int{0, 0}); err == nil {
+		t.Error("duplicate wires should fail")
+	}
+	if err := s.ApplyUnitary(quantum.MatCX, []int{0, 5}); err == nil {
+		t.Error("out-of-range wire should fail")
+	}
+	c := circuit.New(3)
+	if err := s.ApplyCircuit(c); err == nil {
+		t.Error("qubit-count mismatch should fail")
+	}
+	sym := circuit.New(2)
+	sym.AddSymbolic("rz", "a", 0)
+	if err := s.ApplyCircuit(sym); err == nil {
+		t.Error("symbolic gate should fail")
+	}
+}
+
+func TestNormPreservedQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := circuit.New(5)
+		for i := 0; i < 15; i++ {
+			a, b := rng.Intn(5), rng.Intn(5)
+			for b == a {
+				b = rng.Intn(5)
+			}
+			c.Add("cx", a, b)
+			c.Add("h", rng.Intn(5))
+		}
+		s, err := Run(c)
+		if err != nil {
+			return false
+		}
+		return math.Abs(s.Norm()-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSampleDistribution(t *testing.T) {
+	c := circuit.New(1)
+	c.Add("h", 0)
+	s, _ := Run(c)
+	rng := rand.New(rand.NewSource(1))
+	counts := Counts(s.Sample(rng, 10000), 1)
+	if counts["0"] < 4500 || counts["0"] > 5500 {
+		t.Errorf("H sampling skewed: %v", counts)
+	}
+}
+
+func TestExpectationZ(t *testing.T) {
+	s, _ := NewState(2) // |00>
+	if math.Abs(s.ExpectationZ(0)-1) > 1e-12 {
+		t.Error("<Z> of |0> should be 1")
+	}
+	s.ApplyUnitary(quantum.MatX, []int{1})
+	if math.Abs(s.ExpectationZ(1)+1) > 1e-12 {
+		t.Error("<Z> of |1> should be -1")
+	}
+	s.ApplyUnitary(quantum.MatH, []int{0})
+	if math.Abs(s.ExpectationZ(0)) > 1e-12 {
+		t.Error("<Z> of |+> should be 0")
+	}
+}
+
+func TestFidelityAndOverlap(t *testing.T) {
+	a, _ := NewState(2)
+	b, _ := NewState(2)
+	f, err := Fidelity(a, b)
+	if err != nil || math.Abs(f-1) > 1e-12 {
+		t.Errorf("identical states fidelity %g (%v)", f, err)
+	}
+	c, _ := NewBasisState(2, 3)
+	f, _ = Fidelity(a, c)
+	if f != 0 {
+		t.Error("orthogonal states fidelity should be 0")
+	}
+	d, _ := NewState(3)
+	if _, err := Fidelity(a, d); err == nil {
+		t.Error("size mismatch should fail")
+	}
+}
+
+func TestBVOnStatevector(t *testing.T) {
+	// Full 21-qubit BV run — far beyond the dense-unitary limit.
+	spec, _ := bench.ByName("bv")
+	c := spec.Build()
+	s, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The data register must measure the secret (all ones) with certainty;
+	// marginalize over the ancilla (last qubit).
+	secretIdx := 0
+	for q := 0; q < 20; q++ {
+		secretIdx |= 1 << (c.NumQubits - 1 - q)
+	}
+	p := s.Probability(secretIdx) + s.Probability(secretIdx|1)
+	if math.Abs(p-1) > 1e-9 {
+		t.Errorf("BV secret probability %g", p)
+	}
+}
+
+func cmAbs(v complex128) float64 {
+	return math.Hypot(real(v), imag(v))
+}
+
+func BenchmarkApplyCX16Qubits(b *testing.B) {
+	s, _ := NewState(16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := s.ApplyUnitary(quantum.MatCX, []int{3, 11}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunQFT12(b *testing.B) {
+	c := bench.QFT(12)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,167 @@
+// Package topology models device coupling graphs: which physical qubit
+// pairs support a two-qubit interaction. The paper's evaluation platform is
+// a 5×5 grid with XY interaction (§VI-c); line, ring, and heavy-hex-like
+// graphs are provided for tests and ablations.
+package topology
+
+import "fmt"
+
+// Topology is an undirected coupling graph over physical qubits 0..N-1.
+type Topology struct {
+	NumQubits int
+	adj       map[int]map[int]bool
+}
+
+// New returns an edgeless topology over n qubits.
+func New(n int) *Topology {
+	if n <= 0 {
+		panic("topology: need at least one qubit")
+	}
+	return &Topology{NumQubits: n, adj: make(map[int]map[int]bool)}
+}
+
+// AddEdge inserts an undirected coupling between a and b.
+func (t *Topology) AddEdge(a, b int) {
+	if a == b || a < 0 || b < 0 || a >= t.NumQubits || b >= t.NumQubits {
+		panic(fmt.Sprintf("topology: bad edge (%d,%d)", a, b))
+	}
+	if t.adj[a] == nil {
+		t.adj[a] = make(map[int]bool)
+	}
+	if t.adj[b] == nil {
+		t.adj[b] = make(map[int]bool)
+	}
+	t.adj[a][b] = true
+	t.adj[b][a] = true
+}
+
+// Connected reports whether a and b are directly coupled.
+func (t *Topology) Connected(a, b int) bool { return t.adj[a][b] }
+
+// Neighbors returns the neighbours of q (order unspecified).
+func (t *Topology) Neighbors(q int) []int {
+	out := make([]int, 0, len(t.adj[q]))
+	for n := range t.adj[q] {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Edges returns all undirected edges once, with a < b.
+func (t *Topology) Edges() [][2]int {
+	var out [][2]int
+	for a, ns := range t.adj {
+		for b := range ns {
+			if a < b {
+				out = append(out, [2]int{a, b})
+			}
+		}
+	}
+	return out
+}
+
+// Distances returns the all-pairs shortest-path distance matrix (hop
+// counts) via BFS from every node. Unreachable pairs get NumQubits+1.
+func (t *Topology) Distances() [][]int {
+	n := t.NumQubits
+	dist := make([][]int, n)
+	for s := 0; s < n; s++ {
+		row := make([]int, n)
+		for i := range row {
+			row[i] = n + 1
+		}
+		row[s] = 0
+		queue := []int{s}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for nb := range t.adj[v] {
+				if row[nb] > row[v]+1 {
+					row[nb] = row[v] + 1
+					queue = append(queue, nb)
+				}
+			}
+		}
+		dist[s] = row
+	}
+	return dist
+}
+
+// Grid returns a rows×cols nearest-neighbour grid (the paper's 5×5
+// platform is Grid(5, 5)).
+func Grid(rows, cols int) *Topology {
+	t := New(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				t.AddEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				t.AddEdge(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return t
+}
+
+// Line returns a 1-D chain of n qubits.
+func Line(n int) *Topology {
+	t := New(n)
+	for i := 0; i+1 < n; i++ {
+		t.AddEdge(i, i+1)
+	}
+	return t
+}
+
+// Ring returns a cycle of n qubits.
+func Ring(n int) *Topology {
+	t := Line(n)
+	if n > 2 {
+		t.AddEdge(n-1, 0)
+	}
+	return t
+}
+
+// FullyConnected returns the complete coupling graph (useful to bypass
+// routing in unit tests).
+func FullyConnected(n int) *Topology {
+	t := New(n)
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			t.AddEdge(a, b)
+		}
+	}
+	return t
+}
+
+// HeavyHex returns an IBM-style heavy-hexagon lattice built from unit
+// cells: rows of degree-2/3 qubits where hexagon edges are subdivided by
+// bridge qubits. The parameter cells controls how many hexagons tile the
+// row; qubit count is 5·cells + 3. Used for topology
+// ablations against the paper's 5×5 grid.
+func HeavyHex(cells int) *Topology {
+	if cells < 1 {
+		panic("topology: HeavyHex needs at least one cell")
+	}
+	// A single row of hexagons: top rail, bottom rail, and bridge qubits.
+	// Top rail: 2*cells+1 qubits; bottom rail: 2*cells+1; bridges: cells+1.
+	top := 2*cells + 1
+	bottom := 2*cells + 1
+	bridges := cells + 1
+	t := New(top + bottom + bridges)
+	topAt := func(i int) int { return i }
+	botAt := func(i int) int { return top + i }
+	brAt := func(i int) int { return top + bottom + i }
+	for i := 0; i+1 < top; i++ {
+		t.AddEdge(topAt(i), topAt(i+1))
+	}
+	for i := 0; i+1 < bottom; i++ {
+		t.AddEdge(botAt(i), botAt(i+1))
+	}
+	for i := 0; i < bridges; i++ {
+		t.AddEdge(topAt(2*i), brAt(i))
+		t.AddEdge(brAt(i), botAt(2*i))
+	}
+	return t
+}

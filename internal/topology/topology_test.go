@@ -1,0 +1,129 @@
+package topology
+
+import "testing"
+
+func TestGridStructure(t *testing.T) {
+	g := Grid(5, 5)
+	if g.NumQubits != 25 {
+		t.Fatalf("NumQubits = %d", g.NumQubits)
+	}
+	// 5x5 grid has 2*5*4 = 40 edges.
+	if got := len(g.Edges()); got != 40 {
+		t.Errorf("edges = %d, want 40", got)
+	}
+	if !g.Connected(0, 1) || !g.Connected(0, 5) {
+		t.Error("corner adjacency wrong")
+	}
+	if g.Connected(4, 5) {
+		t.Error("row wrap should not be connected")
+	}
+	if g.Connected(0, 6) {
+		t.Error("diagonal should not be connected")
+	}
+}
+
+func TestGridCornerAndCenterDegrees(t *testing.T) {
+	g := Grid(3, 3)
+	if len(g.Neighbors(0)) != 2 {
+		t.Error("corner degree should be 2")
+	}
+	if len(g.Neighbors(4)) != 4 {
+		t.Error("center degree should be 4")
+	}
+}
+
+func TestLineAndRing(t *testing.T) {
+	l := Line(4)
+	if len(l.Edges()) != 3 {
+		t.Errorf("line edges = %d", len(l.Edges()))
+	}
+	r := Ring(4)
+	if len(r.Edges()) != 4 || !r.Connected(3, 0) {
+		t.Error("ring closure missing")
+	}
+}
+
+func TestFullyConnected(t *testing.T) {
+	f := FullyConnected(5)
+	if len(f.Edges()) != 10 {
+		t.Errorf("K5 edges = %d", len(f.Edges()))
+	}
+}
+
+func TestDistances(t *testing.T) {
+	g := Grid(3, 3)
+	d := g.Distances()
+	if d[0][0] != 0 {
+		t.Error("self distance")
+	}
+	if d[0][8] != 4 { // opposite corners of 3x3
+		t.Errorf("corner-corner = %d, want 4", d[0][8])
+	}
+	if d[0][4] != 2 {
+		t.Errorf("corner-center = %d, want 2", d[0][4])
+	}
+	// Symmetry.
+	for a := 0; a < 9; a++ {
+		for b := 0; b < 9; b++ {
+			if d[a][b] != d[b][a] {
+				t.Fatalf("asymmetric distance %d,%d", a, b)
+			}
+		}
+	}
+}
+
+func TestDistancesDisconnected(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	d := g.Distances()
+	if d[0][2] <= 4 {
+		t.Error("disconnected pair should have sentinel distance")
+	}
+}
+
+func TestAddEdgeValidation(t *testing.T) {
+	g := New(3)
+	for _, e := range [][2]int{{0, 0}, {-1, 1}, {0, 3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("edge %v should panic", e)
+				}
+			}()
+			g.AddEdge(e[0], e[1])
+		}()
+	}
+}
+
+func TestHeavyHex(t *testing.T) {
+	h := HeavyHex(2)
+	// 2 cells: 5 top + 5 bottom + 3 bridges = 13 qubits.
+	if h.NumQubits != 13 {
+		t.Fatalf("qubits = %d", h.NumQubits)
+	}
+	// Edges: 4 top + 4 bottom + 2*3 bridges = 14.
+	if got := len(h.Edges()); got != 14 {
+		t.Errorf("edges = %d, want 14", got)
+	}
+	// Connectivity: everything reachable.
+	d := h.Distances()
+	for i := 0; i < h.NumQubits; i++ {
+		for j := 0; j < h.NumQubits; j++ {
+			if d[i][j] > h.NumQubits {
+				t.Fatalf("disconnected pair %d,%d", i, j)
+			}
+		}
+	}
+	// Max degree 3 (the "heavy" property).
+	for q := 0; q < h.NumQubits; q++ {
+		if len(h.Neighbors(q)) > 3 {
+			t.Errorf("qubit %d has degree %d > 3", q, len(h.Neighbors(q)))
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("HeavyHex(0) should panic")
+		}
+	}()
+	HeavyHex(0)
+}

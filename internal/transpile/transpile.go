@@ -1,0 +1,252 @@
+// Package transpile lowers circuits to a universal basis-gate set:
+// multi-qubit gates (Toffoli, Fredkin, CZ, CPHASE, SWAP, iSWAP, …) are
+// rewritten into CX plus single-qubit gates, and runs of single-qubit gates
+// can be fused into one u3. This is the front half of Fig. 1's pipeline —
+// the input PAQOC expects is a physical circuit over universal basis gates.
+package transpile
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"paqoc/internal/circuit"
+	"paqoc/internal/linalg"
+	"paqoc/internal/route"
+	"paqoc/internal/topology"
+)
+
+// UniversalBasis is the default basis-gate set: all library single-qubit
+// gates plus CX. It matches the paper's setup where input circuits "are
+// built upon universal basis gates" (§VI-a).
+func UniversalBasis() map[string]bool {
+	return map[string]bool{
+		"id": true, "x": true, "y": true, "z": true, "h": true,
+		"s": true, "sdg": true, "t": true, "tdg": true, "sx": true,
+		"rx": true, "ry": true, "rz": true, "u1": true, "u2": true, "u3": true,
+		"cx": true,
+	}
+}
+
+// Decompose rewrites every gate not in the basis using the rule table,
+// recursively, until the whole circuit is basis-only.
+func Decompose(c *circuit.Circuit, basis map[string]bool) (*circuit.Circuit, error) {
+	out := circuit.New(c.NumQubits)
+	for _, g := range c.Gates {
+		if err := lower(out, g, basis, 0); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func lower(out *circuit.Circuit, g circuit.Gate, basis map[string]bool, depth int) error {
+	if depth > 8 {
+		return fmt.Errorf("transpile: decomposition recursion too deep at %s", g.Name)
+	}
+	if basis[g.Name] {
+		out.AddGate(g.Clone())
+		return nil
+	}
+	sub, err := rules(g)
+	if err != nil {
+		return err
+	}
+	for _, s := range sub {
+		if err := lower(out, s, basis, depth+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// rules returns the expansion of one non-basis gate into simpler gates.
+func rules(g circuit.Gate) ([]circuit.Gate, error) {
+	q := g.Qubits
+	mk := func(name string, params []float64, qubits ...int) circuit.Gate {
+		return circuit.Gate{Name: name, Params: params, Qubits: qubits}
+	}
+	switch g.Name {
+	case "cz":
+		return []circuit.Gate{
+			mk("h", nil, q[1]),
+			mk("cx", nil, q[0], q[1]),
+			mk("h", nil, q[1]),
+		}, nil
+	case "swap":
+		return []circuit.Gate{
+			mk("cx", nil, q[0], q[1]),
+			mk("cx", nil, q[1], q[0]),
+			mk("cx", nil, q[0], q[1]),
+		}, nil
+	case "iswap":
+		return []circuit.Gate{
+			mk("s", nil, q[0]),
+			mk("s", nil, q[1]),
+			mk("h", nil, q[0]),
+			mk("cx", nil, q[0], q[1]),
+			mk("cx", nil, q[1], q[0]),
+			mk("h", nil, q[1]),
+		}, nil
+	case "cp", "cphase", "cu1":
+		if g.IsSymbolic() {
+			return nil, fmt.Errorf("transpile: cannot decompose symbolic %s", g.Name)
+		}
+		l := g.Params[0]
+		return []circuit.Gate{
+			mk("rz", []float64{l / 2}, q[0]),
+			mk("cx", nil, q[0], q[1]),
+			mk("rz", []float64{-l / 2}, q[1]),
+			mk("cx", nil, q[0], q[1]),
+			mk("rz", []float64{l / 2}, q[1]),
+		}, nil
+	case "crz":
+		if g.IsSymbolic() {
+			return nil, fmt.Errorf("transpile: cannot decompose symbolic %s", g.Name)
+		}
+		th := g.Params[0]
+		return []circuit.Gate{
+			mk("rz", []float64{th / 2}, q[1]),
+			mk("cx", nil, q[0], q[1]),
+			mk("rz", []float64{-th / 2}, q[1]),
+			mk("cx", nil, q[0], q[1]),
+		}, nil
+	case "ccx", "toffoli":
+		a, b, c := q[0], q[1], q[2]
+		return []circuit.Gate{
+			mk("h", nil, c),
+			mk("cx", nil, b, c),
+			mk("tdg", nil, c),
+			mk("cx", nil, a, c),
+			mk("t", nil, c),
+			mk("cx", nil, b, c),
+			mk("tdg", nil, c),
+			mk("cx", nil, a, c),
+			mk("t", nil, b),
+			mk("t", nil, c),
+			mk("h", nil, c),
+			mk("cx", nil, a, b),
+			mk("t", nil, a),
+			mk("tdg", nil, b),
+			mk("cx", nil, a, b),
+		}, nil
+	case "ccz":
+		return []circuit.Gate{
+			mk("h", nil, q[2]),
+			mk("ccx", nil, q[0], q[1], q[2]),
+			mk("h", nil, q[2]),
+		}, nil
+	case "cswap":
+		return []circuit.Gate{
+			mk("cx", nil, q[2], q[1]),
+			mk("ccx", nil, q[0], q[1], q[2]),
+			mk("cx", nil, q[2], q[1]),
+		}, nil
+	case "y":
+		// Y = S·X·Sdg up to global phase? Use exact rule Y = Z·X·(i) — emit
+		// rz(π) then x then global phase (dropped): Sdg·X·S = Y.
+		return []circuit.Gate{
+			mk("sdg", nil, q[0]),
+			mk("x", nil, q[0]),
+			mk("s", nil, q[0]),
+		}, nil
+	case "z":
+		return []circuit.Gate{mk("rz", []float64{math.Pi}, q[0])}, nil
+	}
+	return nil, fmt.Errorf("transpile: no decomposition rule for gate %q", g.Name)
+}
+
+// Fuse1Q merges maximal runs of consecutive single-qubit gates on the same
+// wire into one u3 gate (computed via ZYZ decomposition), leaving
+// multi-qubit and symbolic gates untouched. Identity-equivalent runs are
+// dropped entirely.
+func Fuse1Q(c *circuit.Circuit) (*circuit.Circuit, error) {
+	out := circuit.New(c.NumQubits)
+	pending := make(map[int]*linalg.Matrix) // wire → accumulated 2x2 unitary
+
+	flush := func(q int) error {
+		u, ok := pending[q]
+		if !ok {
+			return nil
+		}
+		delete(pending, q)
+		theta, phi, lambda := ZYZ(u)
+		if math.Abs(theta) < 1e-10 && math.Abs(math.Mod(phi+lambda, 2*math.Pi)) < 1e-10 {
+			return nil // identity up to phase
+		}
+		out.AddParam("u3", []float64{theta, phi, lambda}, q)
+		return nil
+	}
+
+	for _, g := range c.Gates {
+		if g.Arity() == 1 && !g.IsSymbolic() {
+			u, err := g.Unitary()
+			if err != nil {
+				return nil, err
+			}
+			q := g.Qubits[0]
+			if acc, ok := pending[q]; ok {
+				pending[q] = u.Mul(acc)
+			} else {
+				pending[q] = u
+			}
+			continue
+		}
+		for _, q := range g.Qubits {
+			if err := flush(q); err != nil {
+				return nil, err
+			}
+		}
+		out.AddGate(g.Clone())
+	}
+	for q := 0; q < c.NumQubits; q++ {
+		if err := flush(q); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// ZYZ decomposes a 2×2 unitary as e^{iα}·Rz(φ)·Ry(θ)·Rz(λ) and returns
+// (θ, φ, λ); the global phase α is discarded.
+func ZYZ(u *linalg.Matrix) (theta, phi, lambda float64) {
+	a := u.At(0, 0)
+	b := u.At(0, 1)
+	c := u.At(1, 0)
+	d := u.At(1, 1)
+	theta = 2 * math.Atan2(cmplx.Abs(c), cmplx.Abs(a))
+	const eps = 1e-12
+	switch {
+	case cmplx.Abs(c) < eps: // diagonal
+		phi = cmplx.Phase(d) - cmplx.Phase(a)
+		lambda = 0
+	case cmplx.Abs(a) < eps: // anti-diagonal
+		phi = cmplx.Phase(c) - cmplx.Phase(-b)
+		lambda = 0
+	default:
+		phi = cmplx.Phase(c) - cmplx.Phase(a)
+		lambda = cmplx.Phase(-b) - cmplx.Phase(a)
+	}
+	return theta, phi, lambda
+}
+
+// ToPhysical runs the full lowering pipeline the paper assumes as input
+// (Fig. 1): decompose to the universal basis, route onto the topology with
+// SABRE, then decompose inserted SWAPs so the physical circuit is
+// basis-only. It returns the physical circuit and the routing result.
+func ToPhysical(logical *circuit.Circuit, topo *topology.Topology, opts route.Options) (*circuit.Circuit, *route.Result, error) {
+	basis := UniversalBasis()
+	lowered, err := Decompose(logical, basis)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := route.Route(lowered, topo, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	phys, err := Decompose(res.Physical, basis)
+	if err != nil {
+		return nil, nil, err
+	}
+	return phys, res, nil
+}

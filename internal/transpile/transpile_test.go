@@ -1,0 +1,281 @@
+package transpile
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"paqoc/internal/circuit"
+	"paqoc/internal/linalg"
+	"paqoc/internal/quantum"
+	"paqoc/internal/route"
+	"paqoc/internal/topology"
+)
+
+// unitaryOf builds the circuit unitary or fails the test.
+func unitaryOf(t *testing.T, c *circuit.Circuit) *linalg.Matrix {
+	t.Helper()
+	u, err := c.Unitary(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+// checkEquivalent asserts two circuits implement the same unitary up to
+// global phase.
+func checkEquivalent(t *testing.T, a, b *circuit.Circuit, what string) {
+	t.Helper()
+	if d := linalg.GlobalPhaseDistance(unitaryOf(t, a), unitaryOf(t, b)); d > 1e-8 {
+		t.Errorf("%s: circuits differ, phase distance %g", what, d)
+	}
+}
+
+func single(n int, g circuit.Gate) *circuit.Circuit {
+	c := circuit.New(n)
+	c.AddGate(g)
+	return c
+}
+
+func TestDecompositionRulesPreserveUnitary(t *testing.T) {
+	cases := []struct {
+		n int
+		g circuit.Gate
+	}{
+		{2, circuit.Gate{Name: "cz", Qubits: []int{0, 1}}},
+		{2, circuit.Gate{Name: "swap", Qubits: []int{0, 1}}},
+		{2, circuit.Gate{Name: "iswap", Qubits: []int{0, 1}}},
+		{2, circuit.Gate{Name: "cp", Params: []float64{0.7}, Qubits: []int{0, 1}}},
+		{2, circuit.Gate{Name: "cu1", Params: []float64{-1.3}, Qubits: []int{0, 1}}},
+		{2, circuit.Gate{Name: "crz", Params: []float64{2.1}, Qubits: []int{0, 1}}},
+		{3, circuit.Gate{Name: "ccx", Qubits: []int{0, 1, 2}}},
+		{3, circuit.Gate{Name: "ccx", Qubits: []int{2, 0, 1}}},
+		{3, circuit.Gate{Name: "ccz", Qubits: []int{0, 1, 2}}},
+		{3, circuit.Gate{Name: "cswap", Qubits: []int{0, 1, 2}}},
+		{1, circuit.Gate{Name: "y", Qubits: []int{0}}},
+		{1, circuit.Gate{Name: "z", Qubits: []int{0}}},
+	}
+	basis := UniversalBasis()
+	for _, tc := range cases {
+		orig := single(tc.n, tc.g)
+		dec, err := Decompose(orig, basis)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.g.Name, err)
+		}
+		for _, g := range dec.Gates {
+			if !basis[g.Name] {
+				t.Errorf("%s: non-basis gate %s survived", tc.g.Name, g.Name)
+			}
+		}
+		checkEquivalent(t, orig, dec, tc.g.Name)
+	}
+}
+
+func TestDecomposeRestrictedBasis(t *testing.T) {
+	// With y removed from the basis, y gets rewritten; with it present it
+	// passes through untouched.
+	c := single(1, circuit.Gate{Name: "y", Qubits: []int{0}})
+	basis := UniversalBasis()
+	dec, err := Decompose(c, basis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec.Gates) != 1 || dec.Gates[0].Name != "y" {
+		t.Error("y should pass through the universal basis")
+	}
+	delete(basis, "y")
+	dec, err = Decompose(c, basis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range dec.Gates {
+		if g.Name == "y" {
+			t.Error("y not decomposed")
+		}
+	}
+	checkEquivalent(t, c, dec, "restricted y")
+}
+
+func TestDecomposeUnknownGate(t *testing.T) {
+	c := circuit.New(1)
+	c.Gates = append(c.Gates, circuit.Gate{Name: "mystery", Qubits: []int{0}})
+	if _, err := Decompose(c, UniversalBasis()); err == nil {
+		t.Error("expected error for unknown gate")
+	}
+}
+
+func TestDecomposeSymbolicCPFails(t *testing.T) {
+	c := circuit.New(2)
+	c.AddSymbolic("cp", "gamma", 0, 1)
+	if _, err := Decompose(c, UniversalBasis()); err == nil {
+		t.Error("expected error for symbolic cp")
+	}
+}
+
+func TestZYZRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 100; i++ {
+		u := quantum.U3(rng.Float64()*math.Pi, rng.Float64()*2*math.Pi-math.Pi, rng.Float64()*2*math.Pi-math.Pi)
+		th, ph, la := ZYZ(u)
+		re := quantum.U3(th, ph, la)
+		if d := linalg.GlobalPhaseDistance(u, re); d > 1e-9 {
+			t.Fatalf("ZYZ round trip failed (trial %d): distance %g", i, d)
+		}
+	}
+}
+
+func TestZYZEdgeCases(t *testing.T) {
+	for _, u := range []*linalg.Matrix{
+		linalg.Identity(2),
+		quantum.MatZ,
+		quantum.MatX,
+		quantum.MatH,
+		quantum.MatS,
+	} {
+		th, ph, la := ZYZ(u)
+		re := quantum.U3(th, ph, la)
+		if d := linalg.GlobalPhaseDistance(u, re); d > 1e-9 {
+			t.Errorf("ZYZ failed on fixed gate: %g", d)
+		}
+	}
+}
+
+func TestFuse1QMergesRuns(t *testing.T) {
+	c := circuit.New(2)
+	c.Add("h", 0)
+	c.Add("t", 0)
+	c.Add("h", 0)
+	c.Add("x", 1)
+	c.Add("cx", 0, 1)
+	c.Add("s", 1)
+	fused, err := Fuse1Q(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expect: u3(0), u3(1), cx, u3(1) = 4 gates.
+	if len(fused.Gates) != 4 {
+		t.Errorf("fused to %d gates: %v", len(fused.Gates), fused.Gates)
+	}
+	checkEquivalent(t, c, fused, "fuse")
+}
+
+func TestFuse1QDropsIdentity(t *testing.T) {
+	c := circuit.New(1)
+	c.Add("h", 0)
+	c.Add("h", 0)
+	fused, err := Fuse1Q(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fused.Gates) != 0 {
+		t.Errorf("H·H should fuse to nothing, got %v", fused.Gates)
+	}
+}
+
+func TestFuse1QKeepsSymbolic(t *testing.T) {
+	c := circuit.New(1)
+	c.Add("h", 0)
+	c.AddSymbolic("rz", "a", 0)
+	c.Add("h", 0)
+	fused, err := Fuse1Q(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, g := range fused.Gates {
+		if g.Symbol == "a" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("symbolic gate was destroyed by fusion")
+	}
+}
+
+func TestFuse1QRandomEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	names := []string{"h", "t", "s", "x", "sdg", "sx"}
+	for trial := 0; trial < 10; trial++ {
+		c := circuit.New(3)
+		for i := 0; i < 30; i++ {
+			if rng.Intn(4) == 0 {
+				a, b := rng.Intn(3), rng.Intn(3)
+				for b == a {
+					b = rng.Intn(3)
+				}
+				c.Add("cx", a, b)
+			} else {
+				c.Add(names[rng.Intn(len(names))], rng.Intn(3))
+			}
+		}
+		fused, err := Fuse1Q(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(fused.Gates) > len(c.Gates) {
+			t.Error("fusion increased gate count")
+		}
+		checkEquivalent(t, c, fused, "random fuse")
+	}
+}
+
+func TestToPhysicalPipeline(t *testing.T) {
+	logical := circuit.New(3)
+	logical.Add("h", 0)
+	logical.Add("ccx", 0, 1, 2)
+	logical.Add("cx", 0, 2)
+	phys, res, err := ToPhysical(logical, topology.Line(3), route.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	basis := UniversalBasis()
+	topo := topology.Line(3)
+	for _, g := range phys.Gates {
+		if !basis[g.Name] {
+			t.Errorf("non-basis gate %s in physical circuit", g.Name)
+		}
+		if g.Arity() == 2 && !topo.Connected(g.Qubits[0], g.Qubits[1]) {
+			t.Errorf("gate %v violates topology", g)
+		}
+	}
+	if res.Physical == nil {
+		t.Error("missing routing result")
+	}
+}
+
+func BenchmarkDecomposeToffoliChain(b *testing.B) {
+	c := circuit.New(10)
+	for i := 0; i+2 < 10; i++ {
+		c.Add("ccx", i, i+1, i+2)
+	}
+	basis := UniversalBasis()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decompose(c, basis); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFuse1Q(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	c := circuit.New(8)
+	names := []string{"h", "t", "s", "x"}
+	for i := 0; i < 400; i++ {
+		if rng.Intn(3) == 0 {
+			x, y := rng.Intn(8), rng.Intn(8)
+			for y == x {
+				y = rng.Intn(8)
+			}
+			c.Add("cx", x, y)
+		} else {
+			c.Add(names[rng.Intn(4)], rng.Intn(8))
+		}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fuse1Q(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
