@@ -9,9 +9,15 @@
 // The -benches flag restricts the Fig. 10–12/14 sweeps to a comma-separated
 // subset (the full 17-benchmark sweep takes a couple of minutes, dominated
 // by dnn). -csv emits Fig. 6's scatter points instead of the summary.
+//
+// -json <file> additionally writes machine-readable per-benchmark records
+// (benchmark, method, latency, compile wall time, fidelity/ESP) plus a
+// snapshot of the pipeline metrics registry, for the sweep-based
+// experiments (fig10/fig11/fig12/fig14/all).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +26,7 @@ import (
 	"paqoc/internal/bench"
 	"paqoc/internal/experiments"
 	"paqoc/internal/noise"
+	"paqoc/internal/obs"
 )
 
 func main() {
@@ -28,6 +35,7 @@ func main() {
 		benches = flag.String("benches", "", "comma-separated benchmark subset for fig10/11/12/14")
 		csv     = flag.Bool("csv", false, "emit CSV scatter data (fig6)")
 		limit   = flag.Int("fig6limit", 0, "cap the number of suite circuits used by fig6 (0 = all 150)")
+		jsonOut = flag.String("json", "", "write machine-readable per-benchmark results (sweep experiments) to this file")
 	)
 	flag.Parse()
 
@@ -44,8 +52,18 @@ func main() {
 	}
 
 	p := experiments.DefaultPlatform()
+	if *jsonOut != "" {
+		// Metrics only: the sweep needs counters for the JSON export, and a
+		// tracer would accumulate one span per generated pulse across the
+		// whole suite.
+		p.Obs = &obs.Obs{Metrics: obs.NewRegistry()}
+	}
 	specs := selectBenches(*benches)
 	out := os.Stdout
+
+	// jsonRows captures the per-benchmark sweep whenever one runs, feeding
+	// the -json export after the human-readable output.
+	var jsonRows []experiments.BenchRow
 
 	var run func(string)
 	run = func(name string) {
@@ -65,6 +83,7 @@ func main() {
 		case "fig10", "fig11", "fig12":
 			rows, err := p.RunAll(specs)
 			check(err)
+			jsonRows = rows
 			switch name {
 			case "fig10":
 				experiments.Fig10(out, rows)
@@ -115,6 +134,7 @@ func main() {
 			// One sweep serves Figs. 10–12 and 14.
 			rows, err := p.RunAll(specs)
 			check(err)
+			jsonRows = rows
 			experiments.Fig10(out, rows)
 			fmt.Fprintln(out)
 			experiments.Fig11(out, rows)
@@ -133,6 +153,68 @@ func main() {
 	// Figs. 10–12 share one sweep when invoked via "all"; running them
 	// individually is simpler and still correct, so keep it direct.
 	run(flag.Arg(0))
+
+	if *jsonOut != "" {
+		if jsonRows == nil {
+			fmt.Fprintf(os.Stderr, "paqoc-bench: -json applies to sweep experiments (fig10/fig11/fig12/all); nothing to write for %q\n", flag.Arg(0))
+			return
+		}
+		if err := writeBenchJSON(*jsonOut, jsonRows, p.Obs); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("results written to %s\n", *jsonOut)
+	}
+}
+
+// benchRecord is one (benchmark, method) result in the -json export.
+type benchRecord struct {
+	Bench         string  `json:"bench"`
+	Method        string  `json:"method"`
+	LatencyDt     float64 `json:"latency_dt"`
+	TotalDt       float64 `json:"total_latency_dt"`
+	CompileCostS  float64 `json:"compile_cost_s"`
+	CompileWallMs float64 `json:"compile_wall_ms"`
+	Fidelity      float64 `json:"fidelity"` // circuit ESP, Eq. (2)
+	NumBlocks     int     `json:"num_blocks"`
+}
+
+// writeBenchJSON emits the machine-readable sweep results alongside the
+// pipeline metrics snapshot accumulated across all compiled methods.
+func writeBenchJSON(path string, rows []experiments.BenchRow, o *obs.Obs) error {
+	var records []benchRecord
+	for _, row := range rows {
+		for _, m := range row.Results {
+			records = append(records, benchRecord{
+				Bench:         row.Bench,
+				Method:        m.Method,
+				LatencyDt:     m.Latency,
+				TotalDt:       m.TotalLatency,
+				CompileCostS:  m.CompileCost,
+				CompileWallMs: float64(m.WallTime.Microseconds()) / 1e3,
+				Fidelity:      m.ESP,
+				NumBlocks:     m.NumBlocks,
+			})
+		}
+	}
+	doc := struct {
+		Schema  string        `json:"schema"`
+		Results []benchRecord `json:"results"`
+		Metrics *obs.Snapshot `json:"metrics,omitempty"`
+	}{Schema: "paqoc-bench/v1", Results: records}
+	if o != nil {
+		doc.Metrics = o.Metrics.Snapshot()
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	werr := enc.Encode(doc)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
 }
 
 func selectBenches(csv string) []bench.Spec {

@@ -10,12 +10,25 @@
 // Flags select the APA knob (-m), the group width cap (-maxn), top-k, the
 // fidelity target, and whether to run real GRAPE (-grape) instead of the
 // calibrated analytical model for final pulse emission.
+//
+// Observability: -trace <file> writes a Chrome trace-event JSON of the
+// pipeline spans (open at chrome://tracing or ui.perfetto.dev), -metrics
+// <file> writes a JSON snapshot of all pipeline counters and histograms,
+// and -pprof <addr> serves net/http/pprof for the duration of the run.
+// Any of these also prints a per-stage wall-time summary on completion.
+// With all three omitted the instrumentation is inert: the compile path
+// pays only nil checks.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strings"
 
@@ -23,6 +36,7 @@ import (
 	"paqoc/internal/circuit"
 	"paqoc/internal/grape"
 	"paqoc/internal/mining"
+	"paqoc/internal/obs"
 	"paqoc/internal/paqoc"
 	"paqoc/internal/pulse"
 	"paqoc/internal/qasm"
@@ -33,48 +47,81 @@ import (
 )
 
 func main() {
+	if err := run(); err != nil {
+		fatal(err)
+	}
+}
+
+func run() error {
 	var (
-		benchName  = flag.String("bench", "", "compile a built-in Table I benchmark instead of a file")
-		mFlag      = flag.String("m", "0", "APA-basis gate budget: 0, inf, tuned, or a positive integer")
-		maxN       = flag.Int("maxn", 3, "maximum qubits per customized gate")
-		topK       = flag.Int("topk", 1, "merges applied per search iteration")
-		fidelity   = flag.Float64("fidelity", 0.99, "per-gate fidelity target")
-		useGrape   = flag.Bool("grape", false, "emit final pulses with the real GRAPE optimizer (slower)")
-		gridRows   = flag.Int("rows", 5, "device grid rows")
-		gridCols   = flag.Int("cols", 5, "device grid cols")
-		showGroups = flag.Bool("groups", false, "print the final customized-gate grouping")
-		render     = flag.Bool("render", false, "draw the physical circuit as an ASCII wire diagram")
-		pulseJSON  = flag.String("pulse-json", "", "write per-block pulse schedules (requires -grape) to this file")
-		verify     = flag.Bool("verify", false, "statevector-check the compiled circuit against the physical circuit")
-		bidir      = flag.Int("bidir", 0, "SABRE forward-backward layout refinement passes (0 = off)")
-		dbPath     = flag.String("db", "", "pulse-database file: loaded if present, saved after compiling (with -grape)")
+		benchName   = flag.String("bench", "", "compile a built-in Table I benchmark instead of a file")
+		mFlag       = flag.String("m", "0", "APA-basis gate budget: 0, inf, tuned, or a positive integer")
+		maxN        = flag.Int("maxn", 3, "maximum qubits per customized gate")
+		topK        = flag.Int("topk", 1, "merges applied per search iteration")
+		fidelity    = flag.Float64("fidelity", 0.99, "per-gate fidelity target")
+		useGrape    = flag.Bool("grape", false, "emit final pulses with the real GRAPE optimizer (slower)")
+		gridRows    = flag.Int("rows", 5, "device grid rows")
+		gridCols    = flag.Int("cols", 5, "device grid cols")
+		showGroups  = flag.Bool("groups", false, "print the final customized-gate grouping")
+		render      = flag.Bool("render", false, "draw the physical circuit as an ASCII wire diagram")
+		pulseJSON   = flag.String("pulse-json", "", "write per-block pulse schedules (requires -grape) to this file")
+		verify      = flag.Bool("verify", false, "statevector-check the compiled circuit against the physical circuit")
+		bidir       = flag.Int("bidir", 0, "SABRE forward-backward layout refinement passes (0 = off)")
+		dbPath      = flag.String("db", "", "pulse-database file: loaded if present, saved after compiling (with -grape)")
+		traceFile   = flag.String("trace", "", "write a Chrome trace-event JSON of pipeline spans to this file")
+		metricsFile = flag.String("metrics", "", "write a JSON snapshot of pipeline metrics to this file")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) during the run")
 	)
 	flag.Parse()
 
+	// Observability backends. The tracer also powers the per-stage summary,
+	// so it is enabled whenever any observability flag is set.
+	var o *obs.Obs
+	ctx := context.Background()
+	if *traceFile != "" || *metricsFile != "" || *pprofAddr != "" {
+		o = &obs.Obs{Tracer: obs.NewTracer()}
+		if *metricsFile != "" {
+			o.Metrics = obs.NewRegistry()
+			preregisterMetrics(o.Metrics)
+		}
+		ctx = o.Attach(ctx)
+	}
+	if *pprofAddr != "" {
+		ln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof: %v", err)
+		}
+		defer ln.Close()
+		fmt.Printf("pprof:    serving on http://%s/debug/pprof/\n", ln.Addr())
+		go func() { _ = http.Serve(ln, nil) }()
+	}
+
 	logical, err := loadCircuit(*benchName, flag.Args())
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	topo := topology.Grid(*gridRows, *gridCols)
 	routeOpts := route.DefaultOptions()
+	_, routeSpan := obs.StartSpan(ctx, "transpile.route")
 	phys, routeRes, err := transpile.ToPhysical(logical, topo, routeOpts)
+	routeSpan.End()
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	if *bidir > 0 {
 		// Re-route the lowered circuit with forward-backward refinement.
-		lowered, derr := transpile.Decompose(logical, transpile.UniversalBasis())
-		if derr != nil {
-			fatal(derr)
+		lowered, err := transpile.Decompose(logical, transpile.UniversalBasis())
+		if err != nil {
+			return err
 		}
-		refined, rerr := route.RouteBidirectional(lowered, topo, routeOpts, *bidir)
-		if rerr != nil {
-			fatal(rerr)
+		refined, err := route.RouteBidirectional(lowered, topo, routeOpts, *bidir)
+		if err != nil {
+			return err
 		}
 		if refined.SwapCount < routeRes.SwapCount {
 			if phys, err = transpile.Decompose(refined.Physical, transpile.UniversalBasis()); err != nil {
-				fatal(err)
+				return err
 			}
 			routeRes = refined
 		}
@@ -91,12 +138,12 @@ func main() {
 	case "inf":
 		cfg.M = paqoc.MInf
 	case "tuned":
-		patterns := mining.Mine(phys, mining.DefaultOptions())
+		patterns := mining.MineCtx(ctx, phys, mining.DefaultOptions())
 		cfg.M = mining.TunedM(phys, patterns, cfg.MinSupport)
 		fmt.Printf("tuned M = %d\n", cfg.M)
 	default:
 		if _, err := fmt.Sscanf(*mFlag, "%d", &cfg.M); err != nil || cfg.M < 0 {
-			fatal(fmt.Errorf("bad -m value %q", *mFlag))
+			return fmt.Errorf("bad -m value %q", *mFlag)
 		}
 	}
 
@@ -106,32 +153,26 @@ func main() {
 		grapeGen = grape.NewGenerator(grape.DefaultOptions())
 		grapeGen.Topo = topo
 		if *dbPath != "" {
-			if f, oerr := os.Open(*dbPath); oerr == nil {
-				db, lerr := pulse.LoadDB(f)
-				f.Close()
-				if lerr != nil {
-					fatal(lerr)
-				}
+			db, n, err := loadPulseDB(*dbPath)
+			if err != nil {
+				return err
+			}
+			if db != nil {
 				grapeGen.DB = db
-				fmt.Printf("pulse DB: loaded %d entries from %s\n", db.Len(), *dbPath)
+				fmt.Printf("pulse DB: loaded %d entries from %s\n", n, *dbPath)
 			}
 		}
 		gen = grapeGen
 	}
 	comp := paqoc.New(gen, topo, cfg)
-	res, err := comp.Compile(phys)
+	res, err := comp.CompileCtx(ctx, phys)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	if grapeGen != nil && *dbPath != "" {
-		f, cerr := os.Create(*dbPath)
-		if cerr != nil {
-			fatal(cerr)
+		if err := savePulseDB(*dbPath, grapeGen); err != nil {
+			return err
 		}
-		if err := grapeGen.DB.Save(f); err != nil {
-			fatal(err)
-		}
-		f.Close()
 		fmt.Printf("pulse DB: saved %d entries to %s\n", grapeGen.DB.Len(), *dbPath)
 	}
 
@@ -159,7 +200,7 @@ func main() {
 	}
 	if *verify {
 		if err := verifyCompiled(phys, res); err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Println("verify:   compiled circuit is statevector-equivalent to the physical circuit ✓")
 	}
@@ -169,10 +210,87 @@ func main() {
 	}
 	if *pulseJSON != "" {
 		if err := writeSchedules(*pulseJSON, res); err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Printf("schedules written to %s\n", *pulseJSON)
 	}
+
+	// Observability outputs: per-stage summary plus the requested exports.
+	if o != nil && o.Tracer != nil {
+		fmt.Println("\nper-stage summary:")
+		o.Tracer.WriteSummary(os.Stdout)
+	}
+	if *traceFile != "" {
+		if err := writeFileWith(*traceFile, o.Tracer.WriteChromeTrace); err != nil {
+			return fmt.Errorf("trace: %v", err)
+		}
+		fmt.Printf("trace written to %s (open at chrome://tracing)\n", *traceFile)
+	}
+	if *metricsFile != "" {
+		if err := writeFileWith(*metricsFile, o.Metrics.Snapshot().WriteJSON); err != nil {
+			return fmt.Errorf("metrics: %v", err)
+		}
+		fmt.Printf("metrics written to %s\n", *metricsFile)
+	}
+	return nil
+}
+
+// preregisterMetrics creates the canonical pipeline instruments up front so
+// a metrics export always carries the merge-loop, GRAPE, and simulator
+// series — zero-valued when a stage did not run — giving downstream
+// consumers a stable schema.
+func preregisterMetrics(r *obs.Registry) {
+	for _, name := range []string{
+		"paqoc.merge.rounds", "paqoc.merge.candidates", "paqoc.merge.cache_hits",
+		"paqoc.merge.applied", "paqoc.merge.rejected", "paqoc.merge.preprocessed",
+		"paqoc.emit.blocks",
+		"grape.iterations", "grape.binsearch.probes", "grape.generated",
+		"grape.db_hits", "grape.db_permuted_hits", "grape.warm_starts", "grape.expm",
+		"pulsesim.slices", "pulsesim.expm", "pulsesim.esp_evals", "pulsesim.esp_gates",
+		"mining.subcircuits_enumerated", "mining.pruned_qubit_cap", "mining.patterns",
+		"latency.model.probes", "latency.model.db_hits",
+	} {
+		r.Counter(name)
+	}
+}
+
+// writeFileWith streams fn into path, closing the file on every path and
+// reporting the first error encountered.
+func writeFileWith(path string, fn func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := fn(f)
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
+}
+
+// loadPulseDB opens a pulse database file; a missing file is not an error
+// (the database starts empty and is written back after compiling).
+func loadPulseDB(path string) (*pulse.DB, int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, 0, nil
+		}
+		return nil, 0, err
+	}
+	defer f.Close()
+	db, err := pulse.LoadDB(f)
+	if err != nil {
+		return nil, 0, err
+	}
+	return db, db.Len(), nil
+}
+
+// savePulseDB writes the generator's database, closing the file even when
+// serialization fails.
+func savePulseDB(path string, g *grape.Generator) error {
+	return writeFileWith(path, func(w io.Writer) error { return g.DB.Save(w) })
 }
 
 // verifyCompiled checks, on the statevector simulator, that the compiled

@@ -9,12 +9,14 @@
 package accqoc
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"paqoc/internal/circuit"
 	"paqoc/internal/critical"
 	"paqoc/internal/linalg"
+	"paqoc/internal/obs"
 	"paqoc/internal/pulse"
 	"paqoc/internal/pulsesim"
 )
@@ -45,6 +47,14 @@ type Result struct {
 
 // Compile partitions the circuit and generates pulses per group.
 func Compile(c *circuit.Circuit, gen pulse.Generator, opts Options) (*Result, error) {
+	return CompileCtx(context.Background(), c, gen, opts)
+}
+
+// CompileCtx is Compile with observability — the baseline carries the same
+// instrumentation as the PAQOC path so per-stage latency breakdowns
+// compare like for like: spans accqoc.partition, accqoc.order, and
+// accqoc.emit under accqoc.compile, plus group counters.
+func CompileCtx(ctx context.Context, c *circuit.Circuit, gen pulse.Generator, opts Options) (*Result, error) {
 	if opts.MaxQubits == 0 {
 		opts.MaxQubits = 3
 	}
@@ -55,32 +65,47 @@ func Compile(c *circuit.Circuit, gen pulse.Generator, opts Options) (*Result, er
 		opts.FidelityTarget = 0.999
 	}
 	start := time.Now()
+	reg := obs.MetricsFrom(ctx)
+	ctx, root := obs.StartSpan(ctx, "accqoc.compile")
+	root.SetAttr("gates", len(c.Gates))
+	defer root.End()
 
+	_, pSpan := obs.StartSpan(ctx, "accqoc.partition")
 	groups := Partition(c, opts.MaxQubits, opts.Depth)
 	bc := blocksFromGroups(c, groups)
+	pSpan.SetAttr("groups", len(groups))
+	pSpan.End()
+	reg.Counter("accqoc.groups").Add(int64(len(groups)))
 
 	// Similarity-ordered pulse generation (MST over distinct unitaries).
+	_, oSpan := obs.StartSpan(ctx, "accqoc.order")
 	order, _, err := constructionOrder(bc)
+	oSpan.End()
 	if err != nil {
 		return nil, err
 	}
+	ectx, eSpan := obs.StartSpan(ctx, "accqoc.emit")
+	emitted := reg.Counter("accqoc.emitted")
 	var cost float64
 	for _, bi := range order {
-		g, err := gen.Generate(bc.Blocks[bi].Custom(), opts.FidelityTarget)
+		g, err := pulse.GenerateCtx(ectx, gen, bc.Blocks[bi].Custom(), opts.FidelityTarget)
 		if err != nil {
+			eSpan.End()
 			return nil, fmt.Errorf("accqoc: group %s: %v", bc.Blocks[bi].Custom().Describe(), err)
 		}
+		emitted.Inc()
 		bc.Blocks[bi].Gen = g
 		bc.Blocks[bi].Latency = g.Latency
 		cost += g.Cost
 	}
+	eSpan.End()
 
 	wall := time.Since(start)
 	return &Result{
 		Blocks:       bc,
 		Latency:      bc.CriticalPath(),
 		TotalLatency: bc.TotalLatency(),
-		ESP:          pulsesim.ESP(bc.Generated()),
+		ESP:          pulsesim.ESPCtx(ctx, bc.Generated()),
 		CompileCost:  cost + wall.Seconds(),
 		WallTime:     wall,
 		NumBlocks:    len(bc.Blocks),

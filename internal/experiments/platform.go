@@ -6,14 +6,17 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"time"
 
 	"paqoc/internal/accqoc"
 	"paqoc/internal/bench"
 	"paqoc/internal/circuit"
 	"paqoc/internal/latency"
 	"paqoc/internal/mining"
+	"paqoc/internal/obs"
 	"paqoc/internal/paqoc"
 	"paqoc/internal/route"
 	"paqoc/internal/topology"
@@ -26,6 +29,9 @@ type Platform struct {
 	Topo      *topology.Topology
 	RouteOpts route.Options
 	Fidelity  float64
+	// Obs optionally threads observability (internal/obs) through every
+	// compiled method; nil keeps the sweeps uninstrumented.
+	Obs *obs.Obs
 }
 
 // DefaultPlatform mirrors the paper's setup. The fidelity target of 0.99
@@ -61,6 +67,7 @@ type MethodResult struct {
 	CompileCost  float64 // modelled pulse-generation seconds
 	ESP          float64
 	NumBlocks    int
+	WallTime     time.Duration // measured end-to-end compile time
 }
 
 // RunMethods executes all five compared methods on a physical circuit.
@@ -68,6 +75,7 @@ type MethodResult struct {
 // independent, exactly as separate compiler invocations would be.
 func (p *Platform) RunMethods(phys *circuit.Circuit) ([]MethodResult, error) {
 	var out []MethodResult
+	ctx := p.Obs.Attach(context.Background())
 
 	for _, depth := range []int{3, 5} {
 		gen := latency.NewModel()
@@ -76,7 +84,7 @@ func (p *Platform) RunMethods(phys *circuit.Circuit) ([]MethodResult, error) {
 		// AccQOC baseline relies on exact and similarity matches only.
 		gen.DB.DetectPermutations = false
 		opts := accqoc.Options{MaxQubits: 3, Depth: depth, FidelityTarget: p.Fidelity}
-		res, err := accqoc.Compile(phys, gen, opts)
+		res, err := accqoc.CompileCtx(ctx, phys, gen, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -87,6 +95,7 @@ func (p *Platform) RunMethods(phys *circuit.Circuit) ([]MethodResult, error) {
 			CompileCost:  res.CompileCost,
 			ESP:          res.ESP,
 			NumBlocks:    res.NumBlocks,
+			WallTime:     res.WallTime,
 		})
 	}
 
@@ -104,7 +113,7 @@ func (p *Platform) RunMethods(phys *circuit.Circuit) ([]MethodResult, error) {
 			cfg.M = 0
 			name = "paqoc_m0"
 		case mTunedSentinel:
-			patterns := mining.Mine(phys, mining.DefaultOptions())
+			patterns := mining.MineCtx(ctx, phys, mining.DefaultOptions())
 			cfg.M = mining.TunedM(phys, patterns, cfg.MinSupport)
 			name = "paqoc_mtuned"
 		default:
@@ -112,7 +121,7 @@ func (p *Platform) RunMethods(phys *circuit.Circuit) ([]MethodResult, error) {
 			name = "paqoc_minf"
 		}
 		comp := paqoc.New(nil, p.Topo, cfg)
-		res, err := comp.Compile(phys)
+		res, err := comp.CompileCtx(ctx, phys)
 		if err != nil {
 			return nil, err
 		}
@@ -123,6 +132,7 @@ func (p *Platform) RunMethods(phys *circuit.Circuit) ([]MethodResult, error) {
 			CompileCost:  res.CompileCost,
 			ESP:          res.ESP,
 			NumBlocks:    res.NumBlocks,
+			WallTime:     res.WallTime,
 		})
 	}
 	return out, nil

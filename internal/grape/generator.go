@@ -1,10 +1,12 @@
 package grape
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"paqoc/internal/hamiltonian"
+	"paqoc/internal/obs"
 	"paqoc/internal/pulse"
 	"paqoc/internal/topology"
 )
@@ -30,10 +32,26 @@ func NewGenerator(opts Options) *Generator {
 	return &Generator{Opts: opts, DB: pulse.NewDB(), SimilarityDist: 0.8}
 }
 
-var _ pulse.Generator = (*Generator)(nil)
+var (
+	_ pulse.Generator    = (*Generator)(nil)
+	_ pulse.CtxGenerator = (*Generator)(nil)
+)
 
 // Generate produces pulses for one customized gate.
 func (g *Generator) Generate(cg *pulse.CustomGate, fidelityTarget float64) (*pulse.Generated, error) {
+	return g.GenerateCtx(context.Background(), cg, fidelityTarget)
+}
+
+// GenerateCtx is Generate with observability: a "grape.generate" span per
+// customized gate and counters for database reuse (exact, permuted, warm
+// start) versus fresh optimizations.
+func (g *Generator) GenerateCtx(ctx context.Context, cg *pulse.CustomGate, fidelityTarget float64) (*pulse.Generated, error) {
+	reg := obs.MetricsFrom(ctx)
+	ctx, span := obs.StartSpan(ctx, "grape.generate")
+	defer span.End()
+	span.SetAttr("gate", cg.Describe())
+	span.SetAttr("qubits", cg.NumQubits())
+
 	u, err := cg.Unitary()
 	if err != nil {
 		return nil, fmt.Errorf("grape: %v", err)
@@ -44,6 +62,8 @@ func (g *Generator) Generate(cg *pulse.CustomGate, fidelityTarget float64) (*pul
 			out.CacheHit = true
 			out.Cost = 0
 			if perm == nil {
+				reg.Counter("grape.db_hits").Inc()
+				span.SetAttr("db", "exact")
 				return &out, nil
 			}
 			// Permuted hit (§V-B): the stored schedule realizes the
@@ -52,6 +72,8 @@ func (g *Generator) Generate(cg *pulse.CustomGate, fidelityTarget float64) (*pul
 			// graphs differ), fall through and regenerate.
 			if sched := remapSchedule(hit.Schedule, perm, g.couplings(cg)); sched != nil {
 				out.Schedule = sched
+				reg.Counter("grape.db_permuted_hits").Inc()
+				span.SetAttr("db", "permuted")
 				return &out, nil
 			}
 		}
@@ -71,12 +93,14 @@ func (g *Generator) Generate(cg *pulse.CustomGate, fidelityTarget float64) (*pul
 	if g.DB != nil && g.SimilarityDist > 0 {
 		if e, _, ok := g.DB.Nearest(u, g.SimilarityDist); ok && e.Generated.Schedule != nil {
 			opts.InitialGuess = e.Generated.Schedule
+			reg.Counter("grape.warm_starts").Inc()
 		}
 	}
 
 	sys := hamiltonian.XYTransmon(cg.NumQubits(), g.couplings(cg))
 	start := time.Now()
-	sched, latency, fid, err := MinimumTime(sys, u, opts)
+	reg.Counter("grape.generated").Inc()
+	sched, latency, fid, err := MinimumTimeCtx(ctx, sys, u, opts)
 	if err != nil {
 		return nil, err
 	}

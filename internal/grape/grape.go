@@ -7,12 +7,14 @@
 package grape
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 
 	"paqoc/internal/hamiltonian"
 	"paqoc/internal/linalg"
+	"paqoc/internal/obs"
 	"paqoc/internal/pulse"
 )
 
@@ -26,6 +28,13 @@ type Options struct {
 	MinSlices      int     // binary-search lower bound (default 2)
 	MaxSlices      int     // binary-search upper bound (default 128)
 	InitialGuess   *pulse.Schedule
+	// RecordConvergence captures a per-iteration fidelity / gradient-norm /
+	// step-size trace in Result.Trace (one allocation per iteration; off on
+	// the hot path by default).
+	RecordConvergence bool
+	// OnIteration, when non-nil, is invoked with every iteration's
+	// convergence point — the streaming variant of RecordConvergence.
+	OnIteration func(obs.ConvergencePoint)
 }
 
 // DefaultOptions returns the settings used across the evaluation.
@@ -66,12 +75,26 @@ type Result struct {
 	Amps     [][]float64 // Amps[k][j]: control k, slice j
 	Fidelity float64
 	Iters    int
+	// Trace is the per-iteration convergence record, populated when
+	// Options.RecordConvergence is set (nil otherwise).
+	Trace *obs.ConvergenceTrace
 }
 
 // Optimize runs GRAPE for a fixed number of slices against the target
 // unitary on the given system and returns the best controls found.
 func Optimize(sys *hamiltonian.System, target *linalg.Matrix, slices int, opts Options) *Result {
+	return OptimizeCtx(context.Background(), sys, target, slices, opts)
+}
+
+// OptimizeCtx is Optimize with observability: when the context carries a
+// metrics registry, per-iteration counters (grape.iterations, grape.expm)
+// and the gradient-norm histogram are updated.
+func OptimizeCtx(ctx context.Context, sys *hamiltonian.System, target *linalg.Matrix, slices int, opts Options) *Result {
 	opts.fill()
+	reg := obs.MetricsFrom(ctx)
+	iterCtr := reg.Counter("grape.iterations")
+	expmCtr := reg.Counter("grape.expm")
+	gradHist := reg.Histogram("grape.grad_norm", []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1, 10})
 	if target.Rows != sys.Dim {
 		panic(fmt.Sprintf("grape: target dim %d does not match system dim %d", target.Rows, sys.Dim))
 	}
@@ -107,11 +130,16 @@ func Optimize(sys *hamiltonian.System, target *linalg.Matrix, slices int, opts O
 	}
 	const beta1, beta2, eps = 0.9, 0.999, 1e-8
 
-	best := &Result{Fidelity: -1}
+	var trace *obs.ConvergenceTrace
+	if opts.RecordConvergence {
+		trace = &obs.ConvergenceTrace{}
+	}
+	best := &Result{Fidelity: -1, Trace: trace}
 	dim := float64(sys.Dim)
 	dt := opts.SliceDt
 
 	for iter := 1; iter <= opts.MaxIter; iter++ {
+		iterCtr.Inc()
 		// Forward pass: slice propagators and cumulative products.
 		props := make([]*linalg.Matrix, slices)
 		fwd := make([]*linalg.Matrix, slices+1) // fwd[j] = U_j···U_1, fwd[0] = I
@@ -124,6 +152,7 @@ func Optimize(sys *hamiltonian.System, target *linalg.Matrix, slices int, opts O
 			props[j] = sys.Propagator(sliceAmps, dt)
 			fwd[j+1] = props[j].Mul(fwd[j])
 		}
+		expmCtr.Add(int64(slices))
 		overlap := linalg.TraceOverlap(target, fwd[slices]) // tr(V†·X_N)
 		fid := (real(overlap)*real(overlap) + imag(overlap)*imag(overlap)) / (dim * dim)
 		if fid > best.Fidelity {
@@ -131,6 +160,11 @@ func Optimize(sys *hamiltonian.System, target *linalg.Matrix, slices int, opts O
 			best.Iters = iter
 			best.Amps = cloneAmps(amps)
 			if fid >= opts.TargetFidelity {
+				pt := obs.ConvergencePoint{Iter: iter, Fidelity: fid}
+				trace.Record(pt)
+				if opts.OnIteration != nil {
+					opts.OnIteration(pt)
+				}
 				return best
 			}
 		}
@@ -143,6 +177,7 @@ func Optimize(sys *hamiltonian.System, target *linalg.Matrix, slices int, opts O
 		for k := range grads {
 			grads[k] = make([]float64, slices)
 		}
+		var gradSq float64
 		for j := slices - 1; j >= 0; j-- {
 			d := fwd[j+1].Mul(c) // X_j · C_j
 			for k := 0; k < nc; k++ {
@@ -150,13 +185,17 @@ func Optimize(sys *hamiltonian.System, target *linalg.Matrix, slices int, opts O
 				val := complex(0, -dt) * t
 				g := 2 / (dim * dim) * (real(overlap)*real(val) + imag(overlap)*imag(val))
 				grads[k][j] = g
+				gradSq += g * g
 			}
 			c = c.Mul(props[j]) // C_{j-1} = C_j·U_j
 		}
+		gradNorm := math.Sqrt(gradSq)
+		gradHist.Observe(gradNorm)
 
 		// ADAM ascent step with clipping to hardware bounds.
 		bc1 := 1 - math.Pow(beta1, float64(iter))
 		bc2 := 1 - math.Pow(beta2, float64(iter))
+		var maxStep float64
 		for k := 0; k < nc; k++ {
 			bound := sys.Controls[k].Bound
 			for j := 0; j < slices; j++ {
@@ -165,11 +204,21 @@ func Optimize(sys *hamiltonian.System, target *linalg.Matrix, slices int, opts O
 				v[k][j] = beta2*v[k][j] + (1-beta2)*g*g
 				step := opts.LearningRate * (m[k][j] / bc1) / (math.Sqrt(v[k][j]/bc2) + eps)
 				amps[k][j] += step
+				if s := math.Abs(step); s > maxStep {
+					maxStep = s
+				}
 				if amps[k][j] > bound {
 					amps[k][j] = bound
 				} else if amps[k][j] < -bound {
 					amps[k][j] = -bound
 				}
+			}
+		}
+		if trace != nil || opts.OnIteration != nil {
+			pt := obs.ConvergencePoint{Iter: iter, Fidelity: fid, GradNorm: gradNorm, StepSize: maxStep}
+			trace.Record(pt)
+			if opts.OnIteration != nil {
+				opts.OnIteration(pt)
 			}
 		}
 	}
@@ -201,9 +250,30 @@ func cloneAmps(a [][]float64) [][]float64 {
 // pulses of a customized gate by binary search"). It returns the winning
 // schedule, its latency in dt, and the achieved fidelity.
 func MinimumTime(sys *hamiltonian.System, target *linalg.Matrix, opts Options) (*pulse.Schedule, float64, float64, error) {
-	opts.fill()
+	return MinimumTimeCtx(context.Background(), sys, target, opts)
+}
 
-	run := func(slices int) *Result { return Optimize(sys, target, slices, opts) }
+// MinimumTimeCtx is MinimumTime with observability: one span per duration
+// probe ("grape.binsearch.probe", tagged with the slice count and achieved
+// fidelity) under a "grape.binsearch" span, plus probe counters.
+func MinimumTimeCtx(ctx context.Context, sys *hamiltonian.System, target *linalg.Matrix, opts Options) (*pulse.Schedule, float64, float64, error) {
+	opts.fill()
+	reg := obs.MetricsFrom(ctx)
+	probeCtr := reg.Counter("grape.binsearch.probes")
+	ctx, bsSpan := obs.StartSpan(ctx, "grape.binsearch")
+	bsSpan.SetAttr("dim", sys.Dim)
+	defer bsSpan.End()
+
+	run := func(slices int) *Result {
+		probeCtr.Inc()
+		probeCtx, span := obs.StartSpan(ctx, "grape.binsearch.probe")
+		res := OptimizeCtx(probeCtx, sys, target, slices, opts)
+		span.SetAttr("slices", slices)
+		span.SetAttr("fidelity", res.Fidelity)
+		span.SetAttr("iters", res.Iters)
+		span.End()
+		return res
+	}
 
 	// Find a feasible upper bound by doubling.
 	lo, hi := opts.MinSlices, opts.MinSlices

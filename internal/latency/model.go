@@ -1,6 +1,7 @@
 package latency
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"math"
@@ -9,6 +10,7 @@ import (
 
 	"paqoc/internal/hamiltonian"
 	"paqoc/internal/linalg"
+	"paqoc/internal/obs"
 	"paqoc/internal/pulse"
 	"paqoc/internal/topology"
 )
@@ -48,12 +50,25 @@ func NewModel() *Model {
 	return &Model{DB: pulse.NewDB(), SimilarityDist: 0.8, weylCache: make(map[string][3]float64)}
 }
 
-var _ pulse.Generator = (*Model)(nil)
+var (
+	_ pulse.Generator    = (*Model)(nil)
+	_ pulse.CtxGenerator = (*Model)(nil)
+)
 
 // Generate estimates the pulse for a customized gate without running QOC.
 // The returned Generated carries no schedule; latency, error, and a
 // synthetic compile cost (seconds a GRAPE run would have taken) are filled.
 func (m *Model) Generate(cg *pulse.CustomGate, fidelityTarget float64) (*pulse.Generated, error) {
+	return m.GenerateCtx(context.Background(), cg, fidelityTarget)
+}
+
+// GenerateCtx is Generate with observability: it counts analytical probes
+// and pulse-database hits on the context's metrics registry. Ranking
+// probes are far too frequent for per-call spans, so the model emits
+// counters only.
+func (m *Model) GenerateCtx(ctx context.Context, cg *pulse.CustomGate, fidelityTarget float64) (*pulse.Generated, error) {
+	reg := obs.MetricsFrom(ctx)
+	reg.Counter("latency.model.probes").Inc()
 	u, err := cg.Unitary()
 	if err != nil {
 		return nil, err
@@ -64,6 +79,7 @@ func (m *Model) Generate(cg *pulse.CustomGate, fidelityTarget float64) (*pulse.G
 			out := *hit
 			out.CacheHit = true
 			out.Cost = 0
+			reg.Counter("latency.model.db_hits").Inc()
 			return &out, nil
 		}
 	}

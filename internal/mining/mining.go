@@ -8,11 +8,13 @@
 package mining
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
 	"paqoc/internal/circuit"
+	"paqoc/internal/obs"
 )
 
 // Options bounds the search.
@@ -62,13 +64,32 @@ func (p *Pattern) Coverage() int { return p.Support * p.GateCount }
 // with at least MinSupport disjoint occurrences and at least two gates,
 // sorted by coverage (descending), ties by signature for determinism.
 func Mine(c *circuit.Circuit, opts Options) []Pattern {
+	return MineCtx(context.Background(), c, opts)
+}
+
+// MineCtx is Mine with observability: a "mining.enumerate" span around the
+// connected-subcircuit walk and counters for subcircuits enumerated,
+// extensions pruned by the qubit cap, pattern count, and whether the
+// enumeration budget overflowed.
+func MineCtx(ctx context.Context, c *circuit.Circuit, opts Options) []Pattern {
 	opts.fill()
+	reg := obs.MetricsFrom(ctx)
 	enum := newEnumerator(c, opts)
+	enum.enumerated = reg.Counter("mining.subcircuits_enumerated")
+	enum.pruned = reg.Counter("mining.pruned_qubit_cap")
+
+	_, span := obs.StartSpan(ctx, "mining.enumerate")
 	bySig := make(map[string][][]int)
 	enum.run(func(set []int) {
 		sig := enum.signature(set)
 		bySig[sig] = append(bySig[sig], append([]int(nil), set...))
 	})
+	span.SetAttr("signatures", len(bySig))
+	span.SetAttr("overflow", enum.overflow)
+	span.End()
+	if enum.overflow {
+		reg.Counter("mining.enum_overflows").Inc()
+	}
 
 	var out []Pattern
 	for sig, embeds := range bySig {
@@ -100,6 +121,7 @@ func Mine(c *circuit.Circuit, opts Options) []Pattern {
 		}
 		return out[i].Signature < out[j].Signature
 	})
+	reg.Counter("mining.patterns").Add(int64(len(out)))
 	return out
 }
 
@@ -110,6 +132,9 @@ type enumerator struct {
 	adj      [][]int // undirected wire adjacency (immediate neighbours)
 	budget   int
 	overflow bool
+
+	enumerated *obs.Counter // connected sets emitted (nil-safe)
+	pruned     *obs.Counter // extensions rejected by the qubit cap
 }
 
 func newEnumerator(c *circuit.Circuit, opts Options) *enumerator {
@@ -150,6 +175,7 @@ func (e *enumerator) grow(sub, cand []int, anchor int, emit func([]int)) {
 		}
 		sorted := append([]int(nil), sub...)
 		sort.Ints(sorted)
+		e.enumerated.Inc()
 		emit(sorted)
 	}
 	if len(sub) >= e.opts.MaxGates {
@@ -161,6 +187,7 @@ func (e *enumerator) grow(sub, cand []int, anchor int, emit func([]int)) {
 	}
 	for i, v := range cand {
 		if e.qubitsWith(sub, v) > e.opts.MaxQubits {
+			e.pruned.Inc()
 			continue
 		}
 		// New candidate list: remaining candidates plus v's unseen

@@ -1,0 +1,51 @@
+package obs
+
+// ConvergencePoint is one iteration of a gradient-ascent optimization.
+type ConvergencePoint struct {
+	Iter     int     `json:"iter"`
+	Fidelity float64 `json:"fidelity"`
+	GradNorm float64 `json:"grad_norm"` // L2 norm over all controls/slices
+	StepSize float64 `json:"step_size"` // largest |ADAM step| this iteration
+}
+
+// ConvergenceTrace records fidelity-vs-iteration and step-size curves for
+// one GRAPE run. Not safe for concurrent writers (each optimization owns
+// its trace); a nil *ConvergenceTrace is a no-op recorder.
+type ConvergenceTrace struct {
+	Points []ConvergencePoint `json:"points"`
+}
+
+// Record appends one iteration point. No-op on a nil receiver.
+func (t *ConvergenceTrace) Record(p ConvergencePoint) {
+	if t != nil {
+		t.Points = append(t.Points, p)
+	}
+}
+
+// Len returns the number of recorded iterations (0 for nil).
+func (t *ConvergenceTrace) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.Points)
+}
+
+// Final returns the last recorded point (zero value when empty).
+func (t *ConvergenceTrace) Final() ConvergencePoint {
+	if t.Len() == 0 {
+		return ConvergencePoint{}
+	}
+	return t.Points[len(t.Points)-1]
+}
+
+// Stalled reports whether fidelity improved by less than eps over the last
+// window iterations — the diagnostic for "why didn't this GRAPE run
+// converge" (plateaued landscape vs. too few iterations).
+func (t *ConvergenceTrace) Stalled(window int, eps float64) bool {
+	if t.Len() < window || window <= 0 {
+		return false
+	}
+	last := t.Points[len(t.Points)-1].Fidelity
+	prev := t.Points[len(t.Points)-window].Fidelity
+	return last-prev < eps
+}

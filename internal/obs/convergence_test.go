@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestConvergenceTrace(t *testing.T) {
+	tr := &ConvergenceTrace{}
+	for i := 0; i < 5; i++ {
+		tr.Record(ConvergencePoint{Iter: i, Fidelity: 0.9 + float64(i)*0.01, GradNorm: 1.0 / float64(i+1)})
+	}
+	if tr.Len() != 5 {
+		t.Fatalf("len = %d, want 5", tr.Len())
+	}
+	if f := tr.Final(); f.Iter != 4 || math.Abs(f.Fidelity-0.94) > 1e-12 {
+		t.Errorf("final = %+v", f)
+	}
+	// Fidelity still climbing 0.01/iter: not stalled at eps below that.
+	if tr.Stalled(3, 0.001) {
+		t.Error("improving trace reported as stalled")
+	}
+	// Plateau: three more iterations with no gain.
+	last := tr.Final().Fidelity
+	for i := 5; i < 8; i++ {
+		tr.Record(ConvergencePoint{Iter: i, Fidelity: last})
+	}
+	if !tr.Stalled(3, 0.001) {
+		t.Error("flat trace not reported as stalled")
+	}
+	// Window larger than the trace never reports stalled.
+	if tr.Stalled(100, 0.001) || tr.Stalled(0, 0.001) {
+		t.Error("degenerate windows must report not-stalled")
+	}
+}
+
+func TestConvergenceTraceNil(t *testing.T) {
+	var tr *ConvergenceTrace
+	tr.Record(ConvergencePoint{Iter: 1})
+	if tr.Len() != 0 {
+		t.Error("nil trace must stay empty")
+	}
+	if f := tr.Final(); f != (ConvergencePoint{}) {
+		t.Errorf("nil Final = %+v, want zero", f)
+	}
+	if tr.Stalled(1, 1) {
+		t.Error("nil trace must not report stalled")
+	}
+}

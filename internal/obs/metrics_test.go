@@ -1,0 +1,206 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const workers, perWorker = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Exercise both the fast read path and the create path by
+			// fetching the counter inside the goroutine.
+			c := r.Counter("test.count")
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("test.count").Value(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestGaugeMaxConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			g := r.Gauge("test.peak")
+			for i := 0; i < 1000; i++ {
+				g.Max(float64(w*1000 + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Gauge("test.peak").Value(); got != 7999 {
+		t.Errorf("gauge max = %g, want 7999", got)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	r := NewRegistry()
+	bounds := []float64{10, 100, 1000}
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := r.Histogram("test.hist", bounds)
+			for i := 0; i < perWorker; i++ {
+				// Integer-valued samples keep the CAS-accumulated float
+				// sum exact, so the total is checkable without tolerance.
+				h.Observe(float64(i % 4 * 50)) // 0, 50, 100, 150
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	s := r.Snapshot().Histograms["test.hist"]
+	if s.Count != workers*perWorker {
+		t.Fatalf("count = %d, want %d", s.Count, workers*perWorker)
+	}
+	if want := float64(workers * perWorker / 4 * (0 + 50 + 100 + 150)); s.Sum != want {
+		t.Errorf("sum = %g, want %g", s.Sum, want)
+	}
+	if s.Min != 0 || s.Max != 150 {
+		t.Errorf("min/max = %g/%g, want 0/150", s.Min, s.Max)
+	}
+	// Buckets: le=10 gets the 0s; le=100 gets 50s and 100s (bounds are
+	// inclusive upper limits); le=1000 gets the 150s; +Inf stays empty.
+	wantCounts := []int64{workers * perWorker / 4, workers * perWorker / 2, workers * perWorker / 4, 0}
+	for i, b := range s.Buckets {
+		if b.Count != wantCounts[i] {
+			t.Errorf("bucket %d (le=%g): count = %d, want %d", i, b.Le, b.Count, wantCounts[i])
+		}
+	}
+	if last := s.Buckets[len(s.Buckets)-1]; !math.IsInf(last.Le, 1) {
+		t.Errorf("last bucket le = %g, want +Inf", last.Le)
+	}
+}
+
+func TestHistogramDefaultBucketsAndEmpty(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("empty", nil)
+	s := r.Snapshot().Histograms["empty"]
+	if len(s.Buckets) != len(DefaultBuckets)+1 {
+		t.Errorf("buckets = %d, want %d", len(s.Buckets), len(DefaultBuckets)+1)
+	}
+	// An untouched histogram must report zero (not NaN) min/max.
+	if s.Count != 0 || s.Min != 0 || s.Max != 0 || s.Mean() != 0 {
+		t.Errorf("empty histogram: count=%d min=%g max=%g mean=%g", s.Count, s.Min, s.Max, s.Mean())
+	}
+}
+
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("x")
+	h := r.Histogram("x", nil)
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry must hand out nil instruments")
+	}
+	// None of these may panic.
+	c.Add(1)
+	c.Inc()
+	g.Set(1)
+	g.Max(2)
+	h.Observe(3)
+	if c.Value() != 0 || g.Value() != 0 {
+		t.Error("nil instruments must read as zero")
+	}
+	s := r.Snapshot()
+	if len(s.Counters)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Error("nil registry snapshot must be empty")
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("grape.iterations").Add(42)
+	r.Gauge("grape.best_fidelity").Set(0.9987)
+	h := r.Histogram("merge.score", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(500) // lands in the +Inf bucket
+
+	var buf bytes.Buffer
+	if err := r.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("round-trip unmarshal: %v\n%s", err, buf.String())
+	}
+	if got.Counters["grape.iterations"] != 42 {
+		t.Errorf("counter = %d, want 42", got.Counters["grape.iterations"])
+	}
+	if got.Gauges["grape.best_fidelity"] != 0.9987 {
+		t.Errorf("gauge = %g, want 0.9987", got.Gauges["grape.best_fidelity"])
+	}
+	hs, ok := got.Histograms["merge.score"]
+	if !ok {
+		t.Fatal("histogram missing after round trip")
+	}
+	if hs.Count != 3 || hs.Sum != 505.5 || hs.Min != 0.5 || hs.Max != 500 {
+		t.Errorf("histogram = %+v", hs)
+	}
+	// The overflow bucket's "+Inf" string bound must decode back to +Inf.
+	last := hs.Buckets[len(hs.Buckets)-1]
+	if !math.IsInf(last.Le, 1) || last.Count != 1 {
+		t.Errorf("overflow bucket = %+v, want le=+Inf count=1", last)
+	}
+}
+
+func TestWriteTextSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b.second").Inc()
+	r.Counter("a.first").Add(2)
+	var buf bytes.Buffer
+	r.Snapshot().WriteText(&buf)
+	out := buf.String()
+	if ia, ib := bytes.Index(buf.Bytes(), []byte("a.first")), bytes.Index(buf.Bytes(), []byte("b.second")); ia < 0 || ib < 0 || ia > ib {
+		t.Errorf("text output not sorted:\n%s", out)
+	}
+}
+
+// BenchmarkDisabledCounter guards the claim that instrumentation is free
+// when observability is off: a nil counter's Add must not allocate.
+func BenchmarkDisabledCounter(b *testing.B) {
+	var r *Registry
+	c := r.Counter("x")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkEnabledCounter(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("x")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("x", nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i % 1000))
+	}
+}

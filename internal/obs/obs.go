@@ -1,0 +1,30 @@
+package obs
+
+import "context"
+
+// Obs bundles the two observability backends so callers can enable either
+// or both and attach them to a context in one call. A nil *Obs (or nil
+// fields) disables the corresponding instrumentation.
+type Obs struct {
+	Metrics *Registry
+	Tracer  *Tracer
+}
+
+// New returns an Obs with both a metrics registry and a tracer enabled.
+func New() *Obs {
+	return &Obs{Metrics: NewRegistry(), Tracer: NewTracer()}
+}
+
+// Attach installs the non-nil backends into the context.
+func (o *Obs) Attach(ctx context.Context) context.Context {
+	if o == nil {
+		return ctx
+	}
+	if o.Metrics != nil {
+		ctx = WithMetrics(ctx, o.Metrics)
+	}
+	if o.Tracer != nil {
+		ctx = WithTracer(ctx, o.Tracer)
+	}
+	return ctx
+}

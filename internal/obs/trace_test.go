@@ -1,0 +1,190 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestSpanNestingPaths(t *testing.T) {
+	tr := NewTracer()
+	ctx := WithTracer(context.Background(), tr)
+
+	ctx1, root := StartSpan(ctx, "compile")
+	ctx2, opt := StartSpan(ctx1, "optimize")
+	_, round := StartSpan(ctx2, "round")
+	round.End()
+	opt.End()
+	// A sibling opened from the root context nests under compile, not round.
+	_, emit := StartSpan(ctx1, "emit")
+	emit.End()
+	root.End()
+
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("got %d spans, want 4", len(spans))
+	}
+	// Completion order: innermost first.
+	wantPaths := []string{
+		"compile/optimize/round",
+		"compile/optimize",
+		"compile/emit",
+		"compile",
+	}
+	for i, want := range wantPaths {
+		if spans[i].Path != want {
+			t.Errorf("span %d path = %q, want %q", i, spans[i].Path, want)
+		}
+	}
+	// The child's interval must be contained in the parent's (that is what
+	// the Chrome viewer uses to reconstruct nesting).
+	child, parent := spans[0], spans[3]
+	if child.Start < parent.Start || child.Start+child.Dur > parent.Start+parent.Dur {
+		t.Errorf("child [%v,+%v] not contained in parent [%v,+%v]",
+			child.Start, child.Dur, parent.Start, parent.Dur)
+	}
+}
+
+func TestStartSpanWithoutTracer(t *testing.T) {
+	ctx := context.Background()
+	ctx2, s := StartSpan(ctx, "anything")
+	if s != nil {
+		t.Fatal("StartSpan without tracer must return a nil span")
+	}
+	if ctx2 != ctx {
+		t.Error("StartSpan without tracer must return the context unchanged")
+	}
+	// Nil-span methods must not panic.
+	s.SetAttr("k", 1)
+	s.End()
+	s.End()
+}
+
+func TestSpanEndIdempotent(t *testing.T) {
+	tr := NewTracer()
+	_, s := StartSpan(WithTracer(context.Background(), tr), "once")
+	s.End()
+	s.End()
+	if n := len(tr.Spans()); n != 1 {
+		t.Errorf("double End recorded %d spans, want 1", n)
+	}
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	tr := NewTracer()
+	ctx := WithTracer(context.Background(), tr)
+	ctx, root := StartSpan(ctx, "paqoc.compile")
+	root.SetAttr("gates", 12)
+	_, inner := StartSpan(ctx, "paqoc.optimize")
+	inner.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", doc.DisplayTimeUnit)
+	}
+	if len(doc.TraceEvents) != 2 {
+		t.Fatalf("got %d events, want 2", len(doc.TraceEvents))
+	}
+	// Events are sorted by start: the root opens first.
+	ev := doc.TraceEvents[0]
+	if ev.Name != "paqoc.compile" || ev.Ph != "X" || ev.Pid != 1 || ev.Tid != 1 {
+		t.Errorf("root event = %+v", ev)
+	}
+	if got := ev.Args["gates"]; got != float64(12) {
+		t.Errorf("root args[gates] = %v, want 12", got)
+	}
+	if ev.Dur < doc.TraceEvents[1].Dur {
+		t.Error("root event shorter than its child")
+	}
+}
+
+func TestSummaryAggregation(t *testing.T) {
+	tr := NewTracer()
+	ctx := WithTracer(context.Background(), tr)
+	ctx, root := StartSpan(ctx, "compile")
+	for i := 0; i < 3; i++ {
+		_, s := StartSpan(ctx, "round")
+		s.End()
+	}
+	root.End()
+
+	sum := tr.Summary()
+	if len(sum) != 2 {
+		t.Fatalf("got %d summary rows, want 2", len(sum))
+	}
+	// Ordered by first start: the root opened before any round.
+	if sum[0].Path != "compile" || sum[0].Count != 1 {
+		t.Errorf("row 0 = %+v, want compile ×1", sum[0])
+	}
+	if sum[1].Path != "compile/round" || sum[1].Count != 3 {
+		t.Errorf("row 1 = %+v, want compile/round ×3", sum[1])
+	}
+	if sum[0].Total < sum[1].Total {
+		t.Error("parent total wall time below the sum of its children")
+	}
+
+	var buf bytes.Buffer
+	tr.WriteSummary(&buf)
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("summary output has %d lines, want 2:\n%s", len(lines), buf.String())
+	}
+	if !strings.Contains(lines[1], "round") || !strings.HasPrefix(lines[1], "    ") {
+		t.Errorf("nested row not indented: %q", lines[1])
+	}
+}
+
+func TestObsAttach(t *testing.T) {
+	var o *Obs
+	ctx := o.Attach(context.Background())
+	if TracerFrom(ctx) != nil || MetricsFrom(ctx) != nil {
+		t.Error("nil Obs must attach nothing")
+	}
+	o = New()
+	ctx = o.Attach(context.Background())
+	if TracerFrom(ctx) != o.Tracer || MetricsFrom(ctx) != o.Metrics {
+		t.Error("Attach must install both backends")
+	}
+}
+
+// BenchmarkDisabledStartSpan guards the overhead claim for the tracing
+// side: with no tracer in the context, StartSpan + End must be two context
+// lookups and zero allocations.
+func BenchmarkDisabledStartSpan(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, s := StartSpan(ctx, "bench")
+		s.End()
+	}
+}
+
+func BenchmarkEnabledStartSpan(b *testing.B) {
+	ctx := WithTracer(context.Background(), NewTracer())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, s := StartSpan(ctx, "bench")
+		s.End()
+	}
+}

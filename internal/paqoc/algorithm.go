@@ -1,9 +1,12 @@
 package paqoc
 
 import (
+	"context"
 	"sort"
 
 	"paqoc/internal/critical"
+	"paqoc/internal/obs"
+	"paqoc/internal/pulse"
 )
 
 // optimize runs Algorithm 1: iteratively rank two-block merge candidates by
@@ -18,15 +21,30 @@ import (
 // Case II) and is cached per block pair, so an iteration costs O(V + E).
 // Each applied merge is re-validated with an exact what-if critical path,
 // enforcing the monotonic-decrease contract.
-func (cp *Compiler) optimize(bc *critical.BlockCircuit) (int, error) {
+//
+// Per-round observability (all no-ops without a registry in ctx):
+// paqoc.merge.rounds, .candidates (scored), .cache_hits (labCache),
+// .applied, .rejected (ranked above the cut but failed the exact
+// monotonicity or validity re-check), and the paqoc.merge.score histogram
+// of predicted critical-path reductions.
+func (cp *Compiler) optimize(ctx context.Context, bc *critical.BlockCircuit) (int, error) {
 	const eps = 1e-9
+	reg := obs.MetricsFrom(ctx)
+	roundCtr := reg.Counter("paqoc.merge.rounds")
+	candCtr := reg.Counter("paqoc.merge.candidates")
+	cacheCtr := reg.Counter("paqoc.merge.cache_hits")
+	appliedCtr := reg.Counter("paqoc.merge.applied")
+	rejectedCtr := reg.Counter("paqoc.merge.rejected")
+	scoreHist := reg.Histogram("paqoc.merge.score", nil)
+
 	labCache := map[[2]*critical.Block]float64{}
 	iters := 0
 
 	for iters < cp.Cfg.MaxIterations {
 		iters++
+		roundCtr.Inc()
 
-		if err := cp.preprocess(bc); err != nil {
+		if err := cp.preprocess(ctx, bc); err != nil {
 			return iters, err
 		}
 
@@ -44,12 +62,15 @@ func (cp *Compiler) optimize(bc *critical.BlockCircuit) (int, error) {
 			score float64
 		}
 		var scored []scoredCand
+		candCtr.Add(int64(len(cands)))
 		for _, cand := range cands {
 			key := [2]*critical.Block{bc.Blocks[cand.I], bc.Blocks[cand.J]}
 			lab, ok := labCache[key]
-			if !ok {
+			if ok {
+				cacheCtr.Inc()
+			} else {
 				var err error
-				lab, err = cp.candidateLatency(&cand)
+				lab, err = cp.candidateLatency(ctx, &cand)
 				if err != nil {
 					return iters, err
 				}
@@ -79,6 +100,7 @@ func (cp *Compiler) optimize(bc *critical.BlockCircuit) (int, error) {
 			}
 			score := pathOld - (toIn + lab + fromOut)
 			if score > eps {
+				scoreHist.Observe(score)
 				scored = append(scored, scoredCand{a: bc.Blocks[cand.I], b: bc.Blocks[cand.J], score: score})
 			}
 		}
@@ -109,14 +131,16 @@ func (cp *Compiler) optimize(bc *critical.BlockCircuit) (int, error) {
 				i, j = j, i
 			}
 			if !bc.ValidMerge(i, j, cp.Cfg.MaxN) {
+				rejectedCtr.Inc()
 				continue
 			}
 			m := critical.Merge(bc.Blocks[i], bc.Blocks[j])
-			lab, err := cp.applyLatency(m)
+			lab, err := cp.applyLatency(ctx, m)
 			if err != nil {
 				return iters, err
 			}
 			if bc.CPIfMerged(i, j, lab) >= curCP-eps {
+				rejectedCtr.Inc()
 				continue // the estimate was optimistic; skip this merge
 			}
 			usedBlocks[bc.Blocks[i]] = true
@@ -124,6 +148,7 @@ func (cp *Compiler) optimize(bc *critical.BlockCircuit) (int, error) {
 			bc.ReplaceMerge(i, j, m, lab, nil)
 			curCP = bc.CriticalPath()
 			applied++
+			appliedCtr.Inc()
 		}
 		if applied == 0 {
 			break
@@ -133,8 +158,10 @@ func (cp *Compiler) optimize(bc *critical.BlockCircuit) (int, error) {
 }
 
 // preprocess applies all Observation-1 merges (nested qubit sets) to a
-// fixed point.
-func (cp *Compiler) preprocess(bc *critical.BlockCircuit) error {
+// fixed point. Merges applied here count toward paqoc.merge.preprocessed,
+// separate from the ranked loop's paqoc.merge.applied.
+func (cp *Compiler) preprocess(ctx context.Context, bc *critical.BlockCircuit) error {
+	preCtr := obs.MetricsFrom(ctx).Counter("paqoc.merge.preprocessed")
 	for {
 		pre := bc.PreprocessCandidates(cp.Cfg.MaxN)
 		if len(pre) == 0 {
@@ -145,19 +172,20 @@ func (cp *Compiler) preprocess(bc *critical.BlockCircuit) error {
 			// Structural conditions should guarantee validity; fail safe.
 			return nil
 		}
-		lat, err := cp.rank(cand.Merged)
+		lat, err := cp.rank(ctx, cand.Merged)
 		if err != nil {
 			return err
 		}
 		bc.ReplaceMerge(cand.I, cand.J, cand.Merged, lat, nil)
+		preCtr.Inc()
 	}
 }
 
 // candidateLatency estimates the merged latency for ranking, always via
 // the analytical model — the observations of §III-B exist precisely so
 // the search can rank without generating pulses.
-func (cp *Compiler) candidateLatency(cand *critical.Candidate) (float64, error) {
-	return cp.rank(cand.Merged)
+func (cp *Compiler) candidateLatency(ctx context.Context, cand *critical.Candidate) (float64, error) {
+	return cp.rank(ctx, cand.Merged)
 }
 
 // applyLatency supplies the latency used when a merge is actually applied.
@@ -166,16 +194,16 @@ func (cp *Compiler) candidateLatency(cand *critical.Candidate) (float64, error) 
 // now; the result lands in its database, so the final emission pass serves
 // it as a free hit. Probing only applied merges keeps probe cost
 // proportional to merges performed rather than candidates ranked.
-func (cp *Compiler) applyLatency(m *critical.Block) (float64, error) {
+func (cp *Compiler) applyLatency(ctx context.Context, m *critical.Block) (float64, error) {
 	if cp.Cfg.ProbeCaseII && cp.Gen != cp.Ranker {
-		g, err := cp.Gen.Generate(m.Custom(), cp.Cfg.FidelityTarget)
+		g, err := pulse.GenerateCtx(ctx, cp.Gen, m.Custom(), cp.Cfg.FidelityTarget)
 		if err != nil {
 			return 0, err
 		}
 		cp.probeCost += g.Cost
 		return g.Latency, nil
 	}
-	return cp.rank(m)
+	return cp.rank(ctx, m)
 }
 
 func blockIndex(bc *critical.BlockCircuit, b *critical.Block) int {

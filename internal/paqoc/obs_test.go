@@ -1,0 +1,90 @@
+package paqoc
+
+import (
+	"context"
+	"testing"
+
+	"paqoc/internal/circuit"
+	"paqoc/internal/obs"
+	"paqoc/internal/topology"
+)
+
+// TestCompileCtxInstrumentation compiles a merge-heavy circuit with full
+// observability attached and checks the pipeline actually reports through
+// it: the stage spans of CompileCtx nest under paqoc.compile, and the
+// Algorithm-1 merge loop populates its counters. The cx+h layer structure
+// drives both merge paths — Observation-1 preprocessing (h gates folded
+// into the cx blocks) and the ranked top-k loop (overlapping cx pairs).
+func TestCompileCtxInstrumentation(t *testing.T) {
+	c := circuit.New(5)
+	for r := 0; r < 4; r++ {
+		for i := 0; i+1 < 5; i++ {
+			c.Add("cx", i, i+1)
+		}
+		for i := 0; i < 5; i++ {
+			c.Add("h", i)
+		}
+	}
+	o := obs.New()
+	comp := New(nil, topology.Line(c.NumQubits), DefaultConfig())
+	res, err := comp.CompileCtx(o.Attach(context.Background()), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumBlocks == 0 {
+		t.Fatal("empty result")
+	}
+
+	spans := o.Tracer.Spans()
+	names := map[string]bool{}
+	for _, s := range spans {
+		names[s.Name] = true
+		if s.Name != "paqoc.compile" && len(s.Path) < len("paqoc.compile/") {
+			t.Errorf("span %q has non-nested path %q", s.Name, s.Path)
+		}
+	}
+	for _, want := range []string{"paqoc.compile", "paqoc.initial_blocks", "paqoc.optimize", "paqoc.emit"} {
+		if !names[want] {
+			t.Errorf("missing span %q (got %v)", want, names)
+		}
+	}
+	if len(names) < 4 {
+		t.Errorf("only %d distinct spans, want >= 4", len(names))
+	}
+
+	snap := o.Metrics.Snapshot()
+	for _, want := range []string{
+		"paqoc.merge.rounds", "paqoc.merge.candidates", "paqoc.merge.cache_hits",
+		"paqoc.merge.applied", "paqoc.merge.preprocessed",
+		"paqoc.emit.blocks", "pulsesim.esp_evals",
+	} {
+		if snap.Counters[want] == 0 {
+			t.Errorf("counter %s = 0, want > 0 (counters: %v)", want, snap.Counters)
+		}
+	}
+	// Cross-check counters against the compile result: one round per
+	// Algorithm-1 outer iteration, one emitted block per final block.
+	if got := snap.Counters["paqoc.merge.rounds"]; int(got) != res.Iterations {
+		t.Errorf("paqoc.merge.rounds = %d, want %d (res.Iterations)", got, res.Iterations)
+	}
+	if got := snap.Counters["paqoc.emit.blocks"]; int(got) != res.NumBlocks {
+		t.Errorf("paqoc.emit.blocks = %d, want %d (res.NumBlocks)", got, res.NumBlocks)
+	}
+	if snap.Histograms["paqoc.merge.score"].Count == 0 {
+		t.Error("merge-score histogram is empty")
+	}
+}
+
+// TestCompileCtxNoObs ensures the instrumented path runs unchanged with a
+// bare context: same circuit, no tracer or registry, no panic.
+func TestCompileCtxNoObs(t *testing.T) {
+	c := swapHeavy(4, 2)
+	comp := New(nil, topology.Line(c.NumQubits), DefaultConfig())
+	res, err := comp.CompileCtx(context.Background(), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumBlocks == 0 {
+		t.Fatal("empty result")
+	}
+}

@@ -6,6 +6,7 @@
 package paqoc
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -14,6 +15,7 @@ import (
 	"paqoc/internal/critical"
 	"paqoc/internal/latency"
 	"paqoc/internal/mining"
+	"paqoc/internal/obs"
 	"paqoc/internal/pulse"
 	"paqoc/internal/pulsesim"
 	"paqoc/internal/topology"
@@ -149,8 +151,8 @@ func New(gen pulse.Generator, topo *topology.Topology, cfg Config) *Compiler {
 }
 
 // rank estimates a merged block's latency with the analytical model.
-func (cp *Compiler) rank(b *critical.Block) (float64, error) {
-	g, err := cp.Ranker.Generate(b.Custom(), cp.Cfg.FidelityTarget)
+func (cp *Compiler) rank(ctx context.Context, b *critical.Block) (float64, error) {
+	g, err := cp.Ranker.GenerateCtx(ctx, b.Custom(), cp.Cfg.FidelityTarget)
 	if err != nil {
 		return 0, err
 	}
@@ -159,40 +161,68 @@ func (cp *Compiler) rank(b *critical.Block) (float64, error) {
 
 // Compile runs the full pipeline on a physical circuit.
 func (cp *Compiler) Compile(phys *circuit.Circuit) (*Result, error) {
+	return cp.CompileCtx(context.Background(), phys)
+}
+
+// CompileCtx is Compile with observability: when the context carries an
+// obs tracer and/or metrics registry (internal/obs), every pipeline stage
+// opens a span (paqoc.mine, paqoc.initial_blocks, paqoc.apply_apa,
+// paqoc.optimize, paqoc.emit) and the merge loop, the pulse generators,
+// and the simulator update counters. With a bare context the behaviour
+// and cost match Compile.
+func (cp *Compiler) CompileCtx(ctx context.Context, phys *circuit.Circuit) (*Result, error) {
 	start := time.Now()
 	res := &Result{}
+	ctx, root := obs.StartSpan(ctx, "paqoc.compile")
+	root.SetAttr("gates", len(phys.Gates))
+	root.SetAttr("qubits", phys.NumQubits)
+	defer root.End()
 
 	if cp.Cfg.Commute {
+		_, span := obs.StartSpan(ctx, "paqoc.commute")
 		phys = commute.Canonicalize(phys)
+		span.End()
 	}
 
 	// ── Frequent subcircuits miner → APA-basis gates ──────────────────
 	selections := cp.Cfg.Preselected
 	if selections == nil && cp.Cfg.M != 0 {
-		patterns := mining.Mine(phys, cp.miningOpts())
+		mctx, span := obs.StartSpan(ctx, "paqoc.mine")
+		patterns := mining.MineCtx(mctx, phys, cp.miningOpts())
 		selections = mining.Select(phys, patterns, cp.Cfg.M, cp.Cfg.MinSupport)
+		span.SetAttr("patterns", len(patterns))
+		span.SetAttr("selections", len(selections))
+		span.End()
 	}
 	res.APASelections = selections
 
 	// ── Initial block circuit with analytical latencies ───────────────
+	ibctx, ibSpan := obs.StartSpan(ctx, "paqoc.initial_blocks")
 	bc, err := critical.FromCircuit(phys, func(cg *pulse.CustomGate) (float64, error) {
-		g, err := cp.Ranker.Generate(cg, cp.Cfg.FidelityTarget)
+		g, err := cp.Ranker.GenerateCtx(ibctx, cg, cp.Cfg.FidelityTarget)
 		if err != nil {
 			return 0, err
 		}
 		return g.Latency, nil
 	})
+	ibSpan.End()
 	if err != nil {
 		return nil, err
 	}
 	res.InitialLatency = bc.CriticalPath()
 
-	if err := cp.applyAPA(bc, selections); err != nil {
+	apaCtx, apaSpan := obs.StartSpan(ctx, "paqoc.apply_apa")
+	err = cp.applyAPA(apaCtx, bc, selections)
+	apaSpan.End()
+	if err != nil {
 		return nil, err
 	}
 
 	// ── Criticality-aware customized gates generator (Algorithm 1) ────
-	iters, err := cp.optimize(bc)
+	octx, optSpan := obs.StartSpan(ctx, "paqoc.optimize")
+	iters, err := cp.optimize(octx, bc)
+	optSpan.SetAttr("iterations", iters)
+	optSpan.End()
 	if err != nil {
 		return nil, err
 	}
@@ -201,12 +231,15 @@ func (cp *Compiler) Compile(phys *circuit.Circuit) (*Result, error) {
 	// ── Control pulses generator: emit final pulses per block. APA
 	// blocks first, so their (offline) pulses are in the database before
 	// the online pass runs. ─────────────────────────────────────────────
+	ectx, emitSpan := obs.StartSpan(ctx, "paqoc.emit")
+	emitted := obs.MetricsFrom(ctx).Counter("paqoc.emit.blocks")
 	var cost, offline float64
 	emit := func(b *critical.Block) error {
-		gen, err := cp.Gen.Generate(b.Custom(), cp.Cfg.FidelityTarget)
+		gen, err := pulse.GenerateCtx(ectx, cp.Gen, b.Custom(), cp.Cfg.FidelityTarget)
 		if err != nil {
 			return fmt.Errorf("paqoc: generating pulses for %s: %v", b.Custom().Describe(), err)
 		}
+		emitted.Inc()
 		b.Gen = gen
 		b.Latency = gen.Latency
 		if b.APA {
@@ -219,6 +252,7 @@ func (cp *Compiler) Compile(phys *circuit.Circuit) (*Result, error) {
 	for _, b := range bc.Blocks {
 		if b.APA {
 			if err := emit(b); err != nil {
+				emitSpan.End()
 				return nil, err
 			}
 		}
@@ -226,10 +260,12 @@ func (cp *Compiler) Compile(phys *circuit.Circuit) (*Result, error) {
 	for _, b := range bc.Blocks {
 		if !b.APA {
 			if err := emit(b); err != nil {
+				emitSpan.End()
 				return nil, err
 			}
 		}
 	}
+	emitSpan.End()
 	res.OfflineCost = offline
 	// Probe costs already accumulated inside optimize().
 	cost += cp.probeCost
@@ -238,7 +274,7 @@ func (cp *Compiler) Compile(phys *circuit.Circuit) (*Result, error) {
 	res.Blocks = bc
 	res.Latency = bc.CriticalPath()
 	res.TotalLatency = bc.TotalLatency()
-	res.ESP = pulsesim.ESP(bc.Generated())
+	res.ESP = pulsesim.ESPCtx(ctx, bc.Generated())
 	res.WallTime = time.Since(start)
 	// Total compilation overhead: pulse generation (the ~95% component,
 	// §VI-B) plus the measured search/mining time.
@@ -259,7 +295,7 @@ func (cp *Compiler) miningOpts() mining.Options {
 }
 
 // applyAPA replaces the selected embeddings with single blocks.
-func (cp *Compiler) applyAPA(bc *critical.BlockCircuit, selections []mining.Selection) error {
+func (cp *Compiler) applyAPA(ctx context.Context, bc *critical.BlockCircuit, selections []mining.Selection) error {
 	if len(selections) == 0 {
 		return nil
 	}
@@ -267,7 +303,7 @@ func (cp *Compiler) applyAPA(bc *critical.BlockCircuit, selections []mining.Sele
 	// to gate indices, so embeddings translate directly.
 	for _, sel := range selections {
 		for _, emb := range sel.Chosen {
-			if err := cp.mergeRun(bc, emb); err != nil {
+			if err := cp.mergeRun(ctx, bc, emb); err != nil {
 				return err
 			}
 		}
@@ -278,7 +314,7 @@ func (cp *Compiler) applyAPA(bc *critical.BlockCircuit, selections []mining.Sele
 // mergeRun fuses the blocks holding the given original gate indices into a
 // single APA block by repeated pairwise merging. Blocks are tracked through
 // index shifts via their Origin tags.
-func (cp *Compiler) mergeRun(bc *critical.BlockCircuit, gateIdx []int) error {
+func (cp *Compiler) mergeRun(ctx context.Context, bc *critical.BlockCircuit, gateIdx []int) error {
 	gset := make(map[int]bool, len(gateIdx))
 	for _, gi := range gateIdx {
 		gset[gi] = true
@@ -299,7 +335,7 @@ func (cp *Compiler) mergeRun(bc *critical.BlockCircuit, gateIdx []int) error {
 					continue
 				}
 				m := critical.Merge(bc.Blocks[i], bc.Blocks[j])
-				lat, err := cp.rank(m)
+				lat, err := cp.rank(ctx, m)
 				if err != nil {
 					return err
 				}

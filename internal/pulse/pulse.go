@@ -7,6 +7,7 @@
 package pulse
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/cmplx"
@@ -135,6 +136,25 @@ func (cg *CustomGate) Describe() string {
 // latency.Model (the paper's analytical model, §III-B).
 type Generator interface {
 	Generate(cg *CustomGate, fidelityTarget float64) (*Generated, error)
+}
+
+// CtxGenerator is implemented by generators that accept a context carrying
+// observability backends (internal/obs spans and metrics). GenerateCtx
+// must behave exactly like Generate when the context carries nothing.
+type CtxGenerator interface {
+	Generator
+	GenerateCtx(ctx context.Context, cg *CustomGate, fidelityTarget float64) (*Generated, error)
+}
+
+// GenerateCtx invokes gen with the context when the generator supports it,
+// falling back to the plain Generate otherwise. This is the call sites'
+// single entry point, so instrumentation threads through without changing
+// the Generator interface every mock implements.
+func GenerateCtx(ctx context.Context, gen Generator, cg *CustomGate, fidelityTarget float64) (*Generated, error) {
+	if cg2, ok := gen.(CtxGenerator); ok {
+		return cg2.GenerateCtx(ctx, cg, fidelityTarget)
+	}
+	return gen.Generate(cg, fidelityTarget)
 }
 
 // CanonicalKey returns a hashable identifier of a unitary modulo global

@@ -11,11 +11,13 @@
 package pulsesim
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"paqoc/internal/hamiltonian"
 	"paqoc/internal/linalg"
+	"paqoc/internal/obs"
 	"paqoc/internal/pulse"
 	"paqoc/internal/quantum"
 )
@@ -28,12 +30,26 @@ const DefaultT2 = 20000.0
 // Evolve multiplies the slice propagators of a schedule on the system it
 // was generated for, returning the realized unitary.
 func Evolve(sys *hamiltonian.System, sched *pulse.Schedule) (*linalg.Matrix, error) {
+	return EvolveCtx(context.Background(), sys, sched)
+}
+
+// EvolveCtx is Evolve with observability: a "pulsesim.evolve" span per
+// schedule and counters for time slices propagated and matrix
+// exponentials computed (one per slice propagator).
+func EvolveCtx(ctx context.Context, sys *hamiltonian.System, sched *pulse.Schedule) (*linalg.Matrix, error) {
 	if len(sched.Amps) != len(sys.Controls) {
 		return nil, fmt.Errorf("pulsesim: schedule has %d channels, system has %d controls",
 			len(sched.Amps), len(sys.Controls))
 	}
-	u := linalg.Identity(sys.Dim)
+	_, span := obs.StartSpan(ctx, "pulsesim.evolve")
+	defer span.End()
 	n := sched.NumSlices()
+	span.SetAttr("slices", n)
+	span.SetAttr("dim", sys.Dim)
+	reg := obs.MetricsFrom(ctx)
+	reg.Counter("pulsesim.slices").Add(int64(n))
+	reg.Counter("pulsesim.expm").Add(int64(n))
+	u := linalg.Identity(sys.Dim)
 	amps := make([]float64, len(sys.Controls))
 	for j := 0; j < n; j++ {
 		for k := range amps {
@@ -83,6 +99,15 @@ func (s *CircuitSim) Fidelity(ideal *linalg.Matrix) float64 {
 // ESP is the estimated success probability of Eq. (2): the product over
 // customized gates of (1 - ε_i).
 func ESP(gens []*pulse.Generated) float64 {
+	return ESPCtx(context.Background(), gens)
+}
+
+// ESPCtx is ESP with observability: counts evaluations and the gates they
+// cover on the context's metrics registry.
+func ESPCtx(ctx context.Context, gens []*pulse.Generated) float64 {
+	reg := obs.MetricsFrom(ctx)
+	reg.Counter("pulsesim.esp_evals").Inc()
+	reg.Counter("pulsesim.esp_gates").Add(int64(len(gens)))
 	esp := 1.0
 	for _, g := range gens {
 		esp *= 1 - g.Error
