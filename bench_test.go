@@ -16,7 +16,9 @@ import (
 	"testing"
 
 	"paqoc/internal/bench"
+	"paqoc/internal/circuit"
 	"paqoc/internal/experiments"
+	"paqoc/internal/grape"
 	"paqoc/internal/latency"
 	"paqoc/internal/noise"
 	"paqoc/internal/paqoc"
@@ -294,6 +296,69 @@ func benchName(prefix string, v int) string {
 		return prefix + "-" + digits[v:v+1]
 	}
 	return prefix + "-" + digits[v/10:v/10+1] + digits[v%10:v%10+1]
+}
+
+// BenchmarkParallelEmit measures the worker-pool pulse emission (the
+// internal/engine fan-out) against the serial pipeline on a GRAPE-backed
+// compile: 10 disjoint two-qubit blocks on the 5×5 grid, 8 distinct
+// unitaries plus 2 adjacent duplicates so the singleflight dedup path is
+// exercised under overlap (reported as dedups/op). The blocks mix rotation
+// axes and entanglers so their unitaries sit outside the warm-start
+// similarity radius: the serial/parallel comparison then isolates the
+// fan-out itself rather than the order-dependent warm starts.
+// EXPERIMENTS.md records measured speedups.
+func BenchmarkParallelEmit(b *testing.B) {
+	topo := topology.Grid(5, 5)
+	// Ten disjoint horizontally adjacent pairs: (5r,5r+1), (5r+2,5r+3).
+	// Duplicates are adjacent in block order (0=1, 8=9) so they are in
+	// flight together for any workers ≥ 2.
+	specs := []struct {
+		axis  string
+		theta float64
+		ent   string
+	}{
+		{"rx", 0.30, "cx"}, {"rx", 0.30, "cx"},
+		{"ry", 0.64, "cx"}, {"rz", 0.81, "cx"},
+		{"rx", 0.98, "cz"}, {"ry", 1.15, "cz"},
+		{"rz", 1.32, "cz"}, {"ry", 1.49, "cx"},
+		{"rx", 1.66, "cz"}, {"rx", 1.66, "cz"},
+	}
+	c := circuit.New(25)
+	for i, s := range specs {
+		r, off := i/2, (i%2)*2
+		q := 5*r + off
+		c.AddParam(s.axis, []float64{s.theta}, q)
+		c.Add(s.ent, q, q+1)
+	}
+	run := func(b *testing.B, workers int) {
+		var dedups int64
+		for i := 0; i < b.N; i++ {
+			gen := grape.NewGenerator(grape.Options{
+				MaxIter:        60,
+				TargetFidelity: 0.95,
+				MaxSlices:      64,
+			})
+			gen.Topo = topo
+			cfg := paqoc.DefaultConfig()
+			cfg.MaxN = 2
+			cfg.M = 0
+			cfg.ProbeCaseII = false
+			cfg.FidelityTarget = 0.95
+			cfg.Workers = workers
+			comp := paqoc.New(gen, topo, cfg)
+			res, err := comp.Compile(c)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.NumBlocks < 8 {
+				b.Fatalf("only %d blocks, want ≥ 8 customized gates", res.NumBlocks)
+			}
+			dedups += gen.DB.Dedups()
+		}
+		b.ReportMetric(float64(dedups)/float64(b.N), "dedups/op")
+	}
+	b.Run("workers-1", func(b *testing.B) { run(b, 1) })
+	b.Run("workers-4", func(b *testing.B) { run(b, 4) })
 }
 
 // BenchmarkTableIINoisy regenerates the density-matrix Table II.

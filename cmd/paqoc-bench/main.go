@@ -21,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"paqoc/internal/bench"
@@ -36,6 +37,7 @@ func main() {
 		csv     = flag.Bool("csv", false, "emit CSV scatter data (fig6)")
 		limit   = flag.Int("fig6limit", 0, "cap the number of suite circuits used by fig6 (0 = all 150)")
 		jsonOut = flag.String("json", "", "write machine-readable per-benchmark results (sweep experiments) to this file")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "per-benchmark sweep worker pool size (1 = serial)")
 	)
 	flag.Parse()
 
@@ -52,6 +54,7 @@ func main() {
 	}
 
 	p := experiments.DefaultPlatform()
+	p.Workers = *workers
 	if *jsonOut != "" {
 		// Metrics only: the sweep needs counters for the JSON export, and a
 		// tracer would accumulate one span per generated pulse across the

@@ -30,6 +30,7 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"runtime"
 	"strings"
 
 	"paqoc/internal/bench"
@@ -71,6 +72,7 @@ func run() error {
 		traceFile   = flag.String("trace", "", "write a Chrome trace-event JSON of pipeline spans to this file")
 		metricsFile = flag.String("metrics", "", "write a JSON snapshot of pipeline metrics to this file")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) during the run")
+		workers     = flag.Int("workers", runtime.GOMAXPROCS(0), "pulse-generation worker pool size (1 = serial, bit-identical to the single-threaded pipeline)")
 	)
 	flag.Parse()
 
@@ -132,6 +134,7 @@ func run() error {
 	cfg.TopK = *topK
 	cfg.FidelityTarget = *fidelity
 	cfg.ProbeCaseII = false
+	cfg.Workers = *workers
 	switch *mFlag {
 	case "0":
 		cfg.M = 0
@@ -249,9 +252,11 @@ func preregisterMetrics(r *obs.Registry) {
 		"pulsesim.slices", "pulsesim.expm", "pulsesim.esp_evals", "pulsesim.esp_gates",
 		"mining.subcircuits_enumerated", "mining.pruned_qubit_cap", "mining.patterns",
 		"latency.model.probes", "latency.model.db_hits",
+		"engine.tasks", "pulse.db_dedups",
 	} {
 		r.Counter(name)
 	}
+	r.Gauge("engine.inflight")
 }
 
 // writeFileWith streams fn into path, closing the file on every path and

@@ -1,0 +1,158 @@
+// Package engine is the concurrent compilation core shared by the pulse
+// emission layers (internal/paqoc, internal/accqoc) and the experiment
+// sweeps (internal/experiments): a bounded worker pool with context
+// cancellation, first-error capture, and panic recovery, built on the
+// standard library only.
+//
+// The pool is deliberately deterministic at workers ≤ 1: Go runs the task
+// inline, in submission order, and skips remaining tasks after the first
+// error — byte-for-byte the behaviour of the serial loops it replaced. At
+// workers > 1, tasks run on at most `workers` goroutines; callers that need
+// deterministic output collect results into pre-indexed slots (each task
+// owns its index) and reduce them in submission order after Wait.
+//
+// When the context carries an obs metrics registry, the pool maintains the
+// engine.inflight gauge (currently running tasks) and the engine.tasks
+// counter.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime/debug"
+	"sync"
+
+	"paqoc/internal/obs"
+)
+
+// Group is a bounded worker pool bound to a context. Create one with
+// WithContext; Go submits tasks and Wait joins them. A Group must not be
+// reused after Wait returns.
+type Group struct {
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	sem chan struct{} // nil in serial mode
+	wg  sync.WaitGroup
+
+	mu  sync.Mutex
+	err error
+
+	inflight *obs.Gauge
+	tasks    *obs.Counter
+	running  int64 // guarded by mu; mirrored into the gauge
+}
+
+// WithContext returns a Group running at most `workers` tasks concurrently
+// and the context its tasks receive, which is cancelled on the first task
+// error (or panic) and when Wait returns. workers ≤ 1 selects serial mode:
+// tasks execute inline inside Go, in submission order.
+func WithContext(ctx context.Context, workers int) (*Group, context.Context) {
+	gctx, cancel := context.WithCancel(ctx)
+	reg := obs.MetricsFrom(ctx)
+	g := &Group{
+		ctx:      gctx,
+		cancel:   cancel,
+		inflight: reg.Gauge("engine.inflight"),
+		tasks:    reg.Counter("engine.tasks"),
+	}
+	if workers > 1 {
+		g.sem = make(chan struct{}, workers)
+	}
+	return g, gctx
+}
+
+// Go submits one task. In serial mode the task runs before Go returns; in
+// pooled mode Go blocks until a worker slot is free (bounding both
+// concurrency and the scheduling backlog). After the group has recorded an
+// error the task is dropped — the serial loops this replaces stop at the
+// first error, and pooled callers are already being cancelled.
+func (g *Group) Go(fn func(ctx context.Context) error) {
+	if g.failed() {
+		return
+	}
+	if g.sem == nil {
+		g.run(fn)
+		return
+	}
+	g.sem <- struct{}{}
+	g.wg.Add(1)
+	go func() {
+		defer g.wg.Done()
+		defer func() { <-g.sem }()
+		if g.failed() {
+			return
+		}
+		g.run(fn)
+	}()
+}
+
+// Wait joins every submitted task, cancels the group context, and returns
+// the first recorded error.
+func (g *Group) Wait() error {
+	g.wg.Wait()
+	g.cancel()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.err
+}
+
+func (g *Group) failed() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.err != nil
+}
+
+func (g *Group) run(fn func(ctx context.Context) error) {
+	g.tasks.Inc()
+	g.track(+1)
+	defer g.track(-1)
+	defer func() {
+		if r := recover(); r != nil {
+			g.fail(fmt.Errorf("engine: task panic: %v\n%s", r, debug.Stack()))
+		}
+	}()
+	if err := fn(g.ctx); err != nil {
+		g.fail(err)
+	}
+}
+
+func (g *Group) fail(err error) {
+	g.mu.Lock()
+	if g.err == nil {
+		g.err = err
+	}
+	g.mu.Unlock()
+	g.cancel()
+}
+
+func (g *Group) track(delta int64) {
+	g.mu.Lock()
+	g.running += delta
+	v := g.running
+	g.mu.Unlock()
+	g.inflight.Set(float64(v))
+}
+
+// ForEach runs fn(ctx, i) for every i in [0, n) on a bounded pool and
+// returns the lowest-index error (not the temporally first), so the
+// reported failure is deterministic for a fixed input regardless of worker
+// count.
+func ForEach(ctx context.Context, workers, n int, fn func(ctx context.Context, i int) error) error {
+	g, _ := WithContext(ctx, workers)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		i := i
+		g.Go(func(ctx context.Context) error {
+			errs[i] = fn(ctx, i)
+			return errs[i]
+		})
+	}
+	err := g.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return err
+}

@@ -14,6 +14,7 @@ import (
 	"paqoc/internal/accqoc"
 	"paqoc/internal/bench"
 	"paqoc/internal/circuit"
+	"paqoc/internal/engine"
 	"paqoc/internal/latency"
 	"paqoc/internal/mining"
 	"paqoc/internal/obs"
@@ -32,6 +33,12 @@ type Platform struct {
 	// Obs optionally threads observability (internal/obs) through every
 	// compiled method; nil keeps the sweeps uninstrumented.
 	Obs *obs.Obs
+	// Workers bounds the per-benchmark worker pool in RunAll: each
+	// benchmark's route-and-compile-all-methods unit runs as one task.
+	// 0 or 1 sweeps serially in spec order. Within-benchmark compilation
+	// stays serial either way, so per-method compile costs remain
+	// comparable across worker counts.
+	Workers int
 }
 
 // DefaultPlatform mirrors the paper's setup. The fidelity target of 0.99
@@ -146,19 +153,26 @@ type BenchRow struct {
 	Results []MethodResult
 }
 
-// RunAll evaluates all given benchmarks under all methods.
+// RunAll evaluates all given benchmarks under all methods. Benchmarks fan
+// out on the worker pool (Platform.Workers); rows are collected by spec
+// index, so the output order matches the input order for any worker count.
 func (p *Platform) RunAll(specs []bench.Spec) ([]BenchRow, error) {
-	var rows []BenchRow
-	for _, s := range specs {
+	rows := make([]BenchRow, len(specs))
+	err := engine.ForEach(context.Background(), p.Workers, len(specs), func(ctx context.Context, i int) error {
+		s := specs[i]
 		phys, err := p.Physical(s)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		res, err := p.RunMethods(phys)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %v", s.Name, err)
+			return fmt.Errorf("%s: %v", s.Name, err)
 		}
-		rows = append(rows, BenchRow{Bench: s.Name, Results: res})
+		rows[i] = BenchRow{Bench: s.Name, Results: res}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

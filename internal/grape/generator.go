@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"paqoc/internal/hamiltonian"
+	"paqoc/internal/linalg"
 	"paqoc/internal/obs"
 	"paqoc/internal/pulse"
 	"paqoc/internal/topology"
@@ -44,7 +45,11 @@ func (g *Generator) Generate(cg *pulse.CustomGate, fidelityTarget float64) (*pul
 
 // GenerateCtx is Generate with observability: a "grape.generate" span per
 // customized gate and counters for database reuse (exact, permuted, warm
-// start) versus fresh optimizations.
+// start, singleflight dedup) versus fresh optimizations.
+//
+// Concurrent calls sharing one DB are safe and deduplicated: workers that
+// request the same canonical unitary while another worker is optimizing it
+// block on that run instead of repeating it (pulse.DB.Do).
 func (g *Generator) GenerateCtx(ctx context.Context, cg *pulse.CustomGate, fidelityTarget float64) (*pulse.Generated, error) {
 	reg := obs.MetricsFrom(ctx)
 	ctx, span := obs.StartSpan(ctx, "grape.generate")
@@ -56,29 +61,53 @@ func (g *Generator) GenerateCtx(ctx context.Context, cg *pulse.CustomGate, fidel
 	if err != nil {
 		return nil, fmt.Errorf("grape: %v", err)
 	}
-	if g.DB != nil {
-		if hit, perm, ok := g.DB.Lookup(u); ok {
-			out := *hit
-			out.CacheHit = true
-			out.Cost = 0
-			if perm == nil {
-				reg.Counter("grape.db_hits").Inc()
-				span.SetAttr("db", "exact")
-				return &out, nil
-			}
-			// Permuted hit (§V-B): the stored schedule realizes the
-			// permuted unitary, so reuse requires relabelling the control
-			// channels. If the permuted channels don't all exist (coupling
-			// graphs differ), fall through and regenerate.
-			if sched := remapSchedule(hit.Schedule, perm, g.couplings(cg)); sched != nil {
-				out.Schedule = sched
-				reg.Counter("grape.db_permuted_hits").Inc()
-				span.SetAttr("db", "permuted")
-				return &out, nil
-			}
-		}
+	if g.DB == nil {
+		return g.optimize(ctx, cg, u, fidelityTarget)
 	}
 
+	generate := func() (*pulse.Generated, error) { return g.optimize(ctx, cg, u, fidelityTarget) }
+	gen, perm, outcome, err := g.DB.Do(u, generate)
+	if err != nil {
+		return nil, err
+	}
+	switch outcome {
+	case pulse.OutcomeGenerated:
+		return gen, nil
+	case pulse.OutcomeDeduped:
+		reg.Counter("pulse.db_dedups").Inc()
+		span.SetAttr("db", "deduped")
+	}
+	out := *gen
+	out.CacheHit = true
+	out.Cost = 0
+	if perm == nil {
+		if outcome == pulse.OutcomeHit {
+			reg.Counter("grape.db_hits").Inc()
+			span.SetAttr("db", "exact")
+		}
+		return &out, nil
+	}
+	// Permuted hit (§V-B): the stored schedule realizes the permuted
+	// unitary, so reuse requires relabelling the control channels. If the
+	// permuted channels don't all exist (coupling graphs differ),
+	// regenerate under this gate's own canonical key — still deduplicated
+	// against concurrent workers holding the same exact key.
+	if sched := remapSchedule(gen.Schedule, perm, g.couplings(cg)); sched != nil {
+		out.Schedule = sched
+		if outcome == pulse.OutcomePermuted {
+			reg.Counter("grape.db_permuted_hits").Inc()
+			span.SetAttr("db", "permuted")
+		}
+		return &out, nil
+	}
+	fresh, _, _, err := g.DB.DoExact(u, generate)
+	return fresh, err
+}
+
+// optimize runs the warm-started minimum-time search for one unitary. It
+// is invoked at most once per canonical key when a DB coalesces callers.
+func (g *Generator) optimize(ctx context.Context, cg *pulse.CustomGate, u *linalg.Matrix, fidelityTarget float64) (*pulse.Generated, error) {
+	reg := obs.MetricsFrom(ctx)
 	opts := g.Opts
 	opts.fill()
 	if fidelityTarget > 0 {
@@ -104,17 +133,13 @@ func (g *Generator) GenerateCtx(ctx context.Context, cg *pulse.CustomGate, fidel
 	if err != nil {
 		return nil, err
 	}
-	gen := &pulse.Generated{
+	return &pulse.Generated{
 		Schedule: sched,
 		Latency:  latency,
 		Fidelity: fid,
 		Error:    1 - fid,
 		Cost:     time.Since(start).Seconds(),
-	}
-	if g.DB != nil {
-		g.DB.Store(u, gen)
-	}
-	return gen, nil
+	}, nil
 }
 
 // couplings maps the group's physical-qubit adjacency onto local wires.

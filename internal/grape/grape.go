@@ -139,6 +139,12 @@ func OptimizeCtx(ctx context.Context, sys *hamiltonian.System, target *linalg.Ma
 	dt := opts.SliceDt
 
 	for iter := 1; iter <= opts.MaxIter; iter++ {
+		if ctx.Err() != nil {
+			// Cancelled mid-optimization (a sibling worker failed or the
+			// caller gave up): return the best point reached so the caller
+			// can decide; MinimumTimeCtx surfaces the context error.
+			return best
+		}
 		iterCtr.Inc()
 		// Forward pass: slice propagators and cumulative products.
 		props := make([]*linalg.Matrix, slices)
@@ -275,11 +281,19 @@ func MinimumTimeCtx(ctx context.Context, sys *hamiltonian.System, target *linalg
 		return res
 	}
 
-	// Find a feasible upper bound by doubling.
+	// Find a feasible upper bound by doubling. Each probe is bracketed by a
+	// cancellation check so a cancelled fleet stops between (and, via
+	// OptimizeCtx, inside) duration probes.
 	lo, hi := opts.MinSlices, opts.MinSlices
 	var hiRes *Result
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, 0, err
+		}
 		hiRes = run(hi)
+		if err := ctx.Err(); err != nil {
+			return nil, 0, 0, err
+		}
 		if hiRes.Fidelity >= opts.TargetFidelity {
 			break
 		}
@@ -297,6 +311,9 @@ func MinimumTimeCtx(ctx context.Context, sys *hamiltonian.System, target *linalg
 	// Binary search in (lo-1, hi] for the smallest feasible slice count.
 	bestSlices, bestRes := hi, hiRes
 	for lo < hi {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, 0, err
+		}
 		mid := (lo + hi) / 2
 		res := run(mid)
 		if res.Fidelity >= opts.TargetFidelity {

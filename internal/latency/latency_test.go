@@ -291,3 +291,22 @@ func BenchmarkModelGenerate(b *testing.B) {
 		}
 	}
 }
+
+func TestModelPermutedHitLatencyIsGatePure(t *testing.T) {
+	// cx(0,1) and cx(1,0) are permutation twins: generating one and then
+	// requesting the other must return exactly what a fresh model computes
+	// for the request, not the stored twin's estimate — otherwise the
+	// reported latency would depend on generation order, which is
+	// scheduling-dependent under the worker pool.
+	shared := NewModel()
+	gen(t, shared, mkGroup(circuit.Gate{Name: "cx", Qubits: []int{0, 1}}))
+	hit := gen(t, shared, mkGroup(circuit.Gate{Name: "cx", Qubits: []int{1, 0}}))
+	if !hit.CacheHit || hit.Cost != 0 {
+		t.Fatal("expected a permuted cache hit")
+	}
+	fresh := gen(t, NewModel(), mkGroup(circuit.Gate{Name: "cx", Qubits: []int{1, 0}}))
+	if hit.Latency != fresh.Latency || hit.Error != fresh.Error {
+		t.Errorf("permuted hit echoed the stored twin: hit %v/%v, fresh %v/%v",
+			hit.Latency, hit.Error, fresh.Latency, fresh.Error)
+	}
+}

@@ -66,6 +66,11 @@ func (m *Model) Generate(cg *pulse.CustomGate, fidelityTarget float64) (*pulse.G
 // and pulse-database hits on the context's metrics registry. Ranking
 // probes are far too frequent for per-call spans, so the model emits
 // counters only.
+//
+// Concurrent calls sharing one DB are safe: misses on the same canonical
+// unitary are coalesced singleflight-style (pulse.DB.Do), matching the
+// GRAPE generator's semantics so worker-pool emission can swap generators
+// freely.
 func (m *Model) GenerateCtx(ctx context.Context, cg *pulse.CustomGate, fidelityTarget float64) (*pulse.Generated, error) {
 	reg := obs.MetricsFrom(ctx)
 	reg.Counter("latency.model.probes").Inc()
@@ -73,20 +78,46 @@ func (m *Model) GenerateCtx(ctx context.Context, cg *pulse.CustomGate, fidelityT
 	if err != nil {
 		return nil, err
 	}
-	key := pulse.CanonicalKey(u)
-	if m.DB != nil {
-		if hit, _, ok := m.DB.Lookup(u); ok {
-			out := *hit
-			out.CacheHit = true
-			out.Cost = 0
-			reg.Counter("latency.model.db_hits").Inc()
-			return &out, nil
-		}
+	if m.DB == nil {
+		return m.synthesize(cg, u, fidelityTarget, false)
 	}
+	gen, _, outcome, err := m.DB.Do(u, func() (*pulse.Generated, error) {
+		return m.synthesize(cg, u, fidelityTarget, true)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if outcome == pulse.OutcomeGenerated {
+		return gen, nil
+	}
+	if outcome == pulse.OutcomeDeduped {
+		reg.Counter("pulse.db_dedups").Inc()
+	} else {
+		reg.Counter("latency.model.db_hits").Inc()
+	}
+	// Recompute the analytic estimate for this gate rather than echoing the
+	// stored entry: entries carry the estimate of whichever block generated
+	// the key first (a permuted twin, or a different decomposition of the
+	// same canonical unitary), so returning them would make the reported
+	// latency depend on generation order — nondeterministic under the
+	// worker pool. The estimate is a pure function of the gate and cheap;
+	// the reuse benefit is the zeroed cost.
+	out, err := m.synthesize(cg, u, fidelityTarget, false)
+	if err != nil {
+		return nil, err
+	}
+	out.CacheHit = true
+	out.Cost = 0
+	return out, nil
+}
+
+// synthesize computes the analytical estimate for one unitary. useDB
+// enables the AccQOC-style warm-start cost discount against the database.
+func (m *Model) synthesize(cg *pulse.CustomGate, u *linalg.Matrix, fidelityTarget float64, useDB bool) (*pulse.Generated, error) {
+	key := pulse.CanonicalKey(u)
 	if fidelityTarget <= 0 {
 		fidelityTarget = 0.999
 	}
-
 	lat, err := m.estimate(cg, u, key)
 	if err != nil {
 		return nil, err
@@ -96,21 +127,17 @@ func (m *Model) GenerateCtx(ctx context.Context, cg *pulse.CustomGate, fidelityT
 		eps = 1e-7
 	}
 	cost := m.cost(cg.NumQubits(), lat)
-	if m.DB != nil && m.SimilarityDist > 0 {
+	if useDB && m.SimilarityDist > 0 {
 		if _, _, ok := m.DB.Nearest(u, m.SimilarityDist); ok {
 			cost *= 0.35 // warm start à la AccQOC
 		}
 	}
-	gen := &pulse.Generated{
+	return &pulse.Generated{
 		Latency:  lat,
 		Fidelity: 1 - eps,
 		Error:    eps,
 		Cost:     cost,
-	}
-	if m.DB != nil {
-		m.DB.Store(u, gen)
-	}
-	return gen, nil
+	}, nil
 }
 
 // estimate dispatches on group width.

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"paqoc/internal/critical"
+	"paqoc/internal/engine"
 	"paqoc/internal/obs"
 	"paqoc/internal/pulse"
 )
@@ -19,8 +20,11 @@ import (
 // successor of the merged block, to_in + L(merged) + from_out. The merged
 // latency comes from the analytical model (or a generator probe for
 // Case II) and is cached per block pair, so an iteration costs O(V + E).
-// Each applied merge is re-validated with an exact what-if critical path,
-// enforcing the monotonic-decrease contract.
+// Uncached merged-latency probes fan out on the shared worker pool
+// (Config.Workers) into per-candidate slots, then scoring runs serially
+// over the filled slots — so the ranking is identical for any worker
+// count. Each applied merge is re-validated with an exact what-if
+// critical path, enforcing the monotonic-decrease contract.
 //
 // Per-round observability (all no-ops without a registry in ctx):
 // paqoc.merge.rounds, .candidates (scored), .cache_hits (labCache),
@@ -63,19 +67,43 @@ func (cp *Compiler) optimize(ctx context.Context, bc *critical.BlockCircuit) (in
 		}
 		var scored []scoredCand
 		candCtr.Add(int64(len(cands)))
-		for _, cand := range cands {
+		// Rank uncached candidates on the worker pool: each probe is an
+		// independent analytical-model call, and each task writes only its
+		// own slot of labs, so collection is order-stable and the scored
+		// list below is identical for any worker count.
+		labs := make([]float64, len(cands))
+		var uncached []int
+		for ci := range cands {
+			cand := &cands[ci]
 			key := [2]*critical.Block{bc.Blocks[cand.I], bc.Blocks[cand.J]}
-			lab, ok := labCache[key]
-			if ok {
+			if lab, ok := labCache[key]; ok {
 				cacheCtr.Inc()
+				labs[ci] = lab
 			} else {
-				var err error
-				lab, err = cp.candidateLatency(ctx, &cand)
-				if err != nil {
-					return iters, err
-				}
-				labCache[key] = lab
+				uncached = append(uncached, ci)
 			}
+		}
+		if len(uncached) > 0 {
+			g, _ := engine.WithContext(ctx, cp.workers())
+			for _, ci := range uncached {
+				ci := ci
+				g.Go(func(ctx context.Context) error {
+					lab, err := cp.candidateLatency(ctx, &cands[ci])
+					labs[ci] = lab
+					return err
+				})
+			}
+			if err := g.Wait(); err != nil {
+				return iters, err
+			}
+			for _, ci := range uncached {
+				cand := &cands[ci]
+				labCache[[2]*critical.Block{bc.Blocks[cand.I], bc.Blocks[cand.J]}] = labs[ci]
+			}
+		}
+		for ci := range cands {
+			cand := cands[ci]
+			lab := labs[ci]
 			pathOld := to[cand.I] + from[cand.J]
 			var toIn, fromOut float64
 			for _, p := range dag.Preds[cand.I] {

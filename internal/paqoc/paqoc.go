@@ -13,6 +13,7 @@ import (
 	"paqoc/internal/circuit"
 	"paqoc/internal/commute"
 	"paqoc/internal/critical"
+	"paqoc/internal/engine"
 	"paqoc/internal/latency"
 	"paqoc/internal/mining"
 	"paqoc/internal/obs"
@@ -59,6 +60,12 @@ type Config struct {
 	// extension the paper lists as future work (§VII). Off by default to
 	// match the paper's evaluated configuration.
 	Commute bool
+	// Workers bounds the pulse-generation worker pool (internal/engine)
+	// used by the emit stage and the ranking probes. 0 or 1 runs serially,
+	// reproducing the single-threaded pipeline exactly; higher values fan
+	// out across independent customized gates, with the shared pulse
+	// database deduplicating concurrent GRAPE runs on the same unitary.
+	Workers int
 }
 
 // DefaultConfig mirrors the paper's evaluation setup.
@@ -108,9 +115,10 @@ type Result struct {
 	NumBlocks int
 }
 
-// Compiler compiles physical circuits into pulses. A Compiler is not safe
-// for concurrent Compile calls; build one per goroutine (they can share a
-// pulse generator's database only if that generator is itself synchronized).
+// Compiler compiles physical circuits into pulses. A Compiler runs one
+// Compile at a time (build one per goroutine for concurrent compilations —
+// pulse databases are safe to share between them), and parallelizes inside
+// a compilation when Config.Workers > 1.
 type Compiler struct {
 	// Gen generates the final (and Case II probe) pulses.
 	Gen pulse.Generator
@@ -148,6 +156,15 @@ func New(gen pulse.Generator, topo *topology.Topology, cfg Config) *Compiler {
 		cfg.MaxIterations = 10000
 	}
 	return &Compiler{Gen: gen, Ranker: ranker, Cfg: cfg}
+}
+
+// workers returns the effective pool width: Config.Workers clamped to at
+// least 1 (serial).
+func (cp *Compiler) workers() int {
+	if cp.Cfg.Workers > 1 {
+		return cp.Cfg.Workers
+	}
+	return 1
 }
 
 // rank estimates a merged block's latency with the analytical model.
@@ -228,44 +245,55 @@ func (cp *Compiler) CompileCtx(ctx context.Context, phys *circuit.Circuit) (*Res
 	}
 	res.Iterations = iters
 
-	// ── Control pulses generator: emit final pulses per block. APA
-	// blocks first, so their (offline) pulses are in the database before
-	// the online pass runs. ─────────────────────────────────────────────
+	// ── Control pulses generator: emit final pulses per block on the
+	// worker pool. APA blocks first (with a barrier), so their (offline)
+	// pulses are in the database before the online pass runs. Each task
+	// writes only its own block; the shared pulse database deduplicates
+	// concurrent generations of the same unitary. ──────────────────────
 	ectx, emitSpan := obs.StartSpan(ctx, "paqoc.emit")
 	emitted := obs.MetricsFrom(ctx).Counter("paqoc.emit.blocks")
-	var cost, offline float64
-	emit := func(b *critical.Block) error {
-		gen, err := pulse.GenerateCtx(ectx, cp.Gen, b.Custom(), cp.Cfg.FidelityTarget)
+	emitSpan.SetAttr("workers", cp.workers())
+	emit := func(ctx context.Context, b *critical.Block) error {
+		gen, err := pulse.GenerateCtx(ctx, cp.Gen, b.Custom(), cp.Cfg.FidelityTarget)
 		if err != nil {
 			return fmt.Errorf("paqoc: generating pulses for %s: %v", b.Custom().Describe(), err)
 		}
 		emitted.Inc()
 		b.Gen = gen
 		b.Latency = gen.Latency
-		if b.APA {
-			offline += gen.Cost
-		} else {
-			cost += gen.Cost
-		}
 		return nil
 	}
-	for _, b := range bc.Blocks {
-		if b.APA {
-			if err := emit(b); err != nil {
-				emitSpan.End()
-				return nil, err
+	emitPhase := func(apa bool) error {
+		g, _ := engine.WithContext(ectx, cp.workers())
+		for _, b := range bc.Blocks {
+			if b.APA == apa {
+				b := b
+				g.Go(func(ctx context.Context) error { return emit(ctx, b) })
 			}
 		}
+		return g.Wait()
 	}
-	for _, b := range bc.Blocks {
-		if !b.APA {
-			if err := emit(b); err != nil {
-				emitSpan.End()
-				return nil, err
-			}
+	for _, apa := range []bool{true, false} {
+		if err := emitPhase(apa); err != nil {
+			emitSpan.End()
+			return nil, err
 		}
 	}
 	emitSpan.End()
+	// Cost accounting in block order — the same order the serial loops
+	// summed in, so totals are bit-identical at workers=1 and
+	// deterministic for any worker count.
+	var cost, offline float64
+	for _, b := range bc.Blocks {
+		if b.Gen == nil {
+			continue
+		}
+		if b.APA {
+			offline += b.Gen.Cost
+		} else {
+			cost += b.Gen.Cost
+		}
+	}
 	res.OfflineCost = offline
 	// Probe costs already accumulated inside optimize().
 	cost += cp.probeCost

@@ -300,3 +300,69 @@ func TestCommuteExtensionHelps(t *testing.T) {
 		t.Errorf("commutativity pass did not help: %.1f vs %.1f", withCommute.Latency, base.Latency)
 	}
 }
+
+// TestWorkerCountDeterminism asserts the parallel emit/rank pipeline is
+// observably identical to the serial one: every deterministic Result field
+// and every per-block latency must match exactly between workers=1 and
+// workers=8. (CompileCost and WallTime include measured wall-clock time and
+// are excluded; GRAPE warm starts are timing-dependent under parallelism,
+// but with the analytic model latencies are pure functions of the unitary.)
+func TestWorkerCountDeterminism(t *testing.T) {
+	c := swapHeavy(5, 4)
+	run := func(workers int) *Result {
+		cfg := DefaultConfig()
+		cfg.M = MInf
+		cfg.Workers = workers
+		return compile(t, c, cfg)
+	}
+	serial := run(1)
+	parallel := run(8)
+
+	if serial.Latency != parallel.Latency {
+		t.Errorf("Latency: %v vs %v", serial.Latency, parallel.Latency)
+	}
+	if serial.InitialLatency != parallel.InitialLatency {
+		t.Errorf("InitialLatency: %v vs %v", serial.InitialLatency, parallel.InitialLatency)
+	}
+	if serial.TotalLatency != parallel.TotalLatency {
+		t.Errorf("TotalLatency: %v vs %v", serial.TotalLatency, parallel.TotalLatency)
+	}
+	if serial.ESP != parallel.ESP {
+		t.Errorf("ESP: %v vs %v", serial.ESP, parallel.ESP)
+	}
+	if serial.NumBlocks != parallel.NumBlocks {
+		t.Errorf("NumBlocks: %d vs %d", serial.NumBlocks, parallel.NumBlocks)
+	}
+	if serial.Iterations != parallel.Iterations {
+		t.Errorf("Iterations: %d vs %d", serial.Iterations, parallel.Iterations)
+	}
+	if serial.OfflineCost != parallel.OfflineCost {
+		t.Errorf("OfflineCost: %v vs %v", serial.OfflineCost, parallel.OfflineCost)
+	}
+	if len(serial.APASelections) != len(parallel.APASelections) {
+		t.Errorf("APASelections: %d vs %d", len(serial.APASelections), len(parallel.APASelections))
+	}
+	sb, pb := serial.Blocks.Blocks, parallel.Blocks.Blocks
+	if len(sb) != len(pb) {
+		t.Fatalf("block count: %d vs %d", len(sb), len(pb))
+	}
+	for i := range sb {
+		if sb[i].Latency != pb[i].Latency {
+			t.Errorf("block %d latency: %v vs %v", i, sb[i].Latency, pb[i].Latency)
+		}
+	}
+}
+
+// TestWorkersDefaultSerialMatchesZero ensures Workers=0 and Workers=1 run
+// the same serial pipeline.
+func TestWorkersDefaultSerialMatchesZero(t *testing.T) {
+	c := swapHeavy(4, 2)
+	cfg0 := DefaultConfig()
+	r0 := compile(t, c, cfg0)
+	cfg1 := DefaultConfig()
+	cfg1.Workers = 1
+	r1 := compile(t, c, cfg1)
+	if r0.Latency != r1.Latency || r0.NumBlocks != r1.NumBlocks || r0.Iterations != r1.Iterations {
+		t.Errorf("workers=0 vs 1 diverged: %+v vs %+v", r0, r1)
+	}
+}

@@ -1,6 +1,10 @@
 package pulse
 
 import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
 	"paqoc/internal/linalg"
 	"paqoc/internal/quantum"
 )
@@ -9,18 +13,40 @@ import (
 // the canonical unitary of the customized gate. Lookups also detect the
 // same gate with permuted qubits, and a similarity search supplies a warm
 // initial guess to GRAPE for near-miss unitaries (as in AccQOC).
+//
+// A DB is safe for concurrent use: the maps are RWMutex-guarded, the
+// hit/miss counters are atomic, and Do deduplicates concurrent generation
+// of the same canonical unitary singleflight-style — N workers hitting the
+// same customized gate trigger exactly one generator run while the rest
+// block on the result (permuted-key in-flight generations included).
 type DB struct {
 	// DetectPermutations enables the §V-B permuted-qubit lookup — a PAQOC
-	// feature the AccQOC baseline does not have.
+	// feature the AccQOC baseline does not have. Set it before sharing the
+	// DB across goroutines.
 	DetectPermutations bool
 
+	mu      sync.RWMutex
 	entries map[string]*Entry
 	byDim   map[int][]*Entry
-	hits    int
-	misses  int
+	flights map[string]*flight
+
+	hits   atomic.Int64
+	misses atomic.Int64
+	dedups atomic.Int64
+
+	// onWait, when non-nil, runs each time a caller joins an in-flight
+	// generation, just before blocking on it. Test-only synchronization
+	// seam; set it before sharing the DB across goroutines.
+	onWait func()
 }
 
-// Entry is one stored pulse.
+// flight is one in-progress generation; waiters block on done.
+type flight struct {
+	done chan struct{}
+	err  error
+}
+
+// Entry is one stored pulse. Entries are immutable once stored.
 type Entry struct {
 	Key       string
 	U         *linalg.Matrix
@@ -33,14 +59,48 @@ func NewDB() *DB {
 		DetectPermutations: true,
 		entries:            make(map[string]*Entry),
 		byDim:              make(map[int][]*Entry),
+		flights:            make(map[string]*flight),
 	}
 }
 
 // Len returns the number of stored pulses.
-func (db *DB) Len() int { return len(db.entries) }
+func (db *DB) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.entries)
+}
 
 // Stats returns cache hit/miss counters.
-func (db *DB) Stats() (hits, misses int) { return db.hits, db.misses }
+func (db *DB) Stats() (hits, misses int) {
+	return int(db.hits.Load()), int(db.misses.Load())
+}
+
+// Dedups returns the number of generator runs avoided by singleflight
+// coalescing in Do: callers that found another worker already generating
+// their canonical (or permuted) unitary and blocked on its result.
+func (db *DB) Dedups() int64 { return db.dedups.Load() }
+
+// permKey pairs a permuted canonical key with the permutation producing it.
+type permKey struct {
+	key  string
+	perm []int
+}
+
+// permutedKeys returns the candidate permuted lookups for u: one canonical
+// key per non-identity qubit permutation. Nil when detection is off or the
+// gate width is outside the bounded 2..3-qubit range (k! ≤ 6).
+func (db *DB) permutedKeys(u *linalg.Matrix, usePerms bool) []permKey {
+	k := quantum.QubitCount(u)
+	if !usePerms || k < 2 || k > 3 {
+		return nil
+	}
+	perms := lookupPerms(k)
+	out := make([]permKey, len(perms))
+	for i, p := range perms {
+		out[i] = permKey{key: CanonicalKey(quantum.PermuteQubits(u, p)), perm: p}
+	}
+	return out
+}
 
 // Lookup finds a stored pulse for u, trying first the exact canonical key
 // and then every qubit permutation of u (§V-B: "for the same customized
@@ -53,29 +113,32 @@ func (db *DB) Stats() (hits, misses int) { return db.hits, db.misses }
 // the stored *schedule* (not just its latency) must remap control channels
 // accordingly — see grape.Generator. perm is nil on exact hits.
 func (db *DB) Lookup(u *linalg.Matrix) (gen *Generated, perm []int, ok bool) {
-	if e, hit := db.entries[CanonicalKey(u)]; hit {
-		db.hits++
+	db.mu.RLock()
+	e := db.entries[CanonicalKey(u)]
+	db.mu.RUnlock()
+	if e != nil {
+		db.hits.Add(1)
 		return e.Generated, nil, true
 	}
-	k := quantum.QubitCount(u)
-	if db.DetectPermutations && k >= 2 && k <= 3 {
-		for _, p := range permutations(k) {
-			if isIdentityPerm(p) {
-				continue
-			}
-			if e, hit := db.entries[CanonicalKey(quantum.PermuteQubits(u, p))]; hit {
-				db.hits++
-				return e.Generated, p, true
-			}
+	for _, pk := range db.permutedKeys(u, db.DetectPermutations) {
+		db.mu.RLock()
+		e := db.entries[pk.key]
+		db.mu.RUnlock()
+		if e != nil {
+			db.hits.Add(1)
+			return e.Generated, pk.perm, true
 		}
 	}
-	db.misses++
+	db.misses.Add(1)
 	return nil, nil, false
 }
 
-// Store records a generated pulse for u.
+// Store records a generated pulse for u. The first store of a canonical
+// key wins; duplicates are ignored.
 func (db *DB) Store(u *linalg.Matrix, g *Generated) {
 	key := CanonicalKey(u)
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if _, ok := db.entries[key]; ok {
 		return
 	}
@@ -86,13 +149,23 @@ func (db *DB) Store(u *linalg.Matrix, g *Generated) {
 
 // Nearest returns the stored entry of matching dimension with the smallest
 // phase-invariant Frobenius distance to u, provided it is below maxDist.
-// Used as the GRAPE initial guess (§V-B, following AccQOC).
+// Used as the GRAPE initial guess (§V-B, following AccQOC). The candidate
+// list is snapshotted under the read lock and exact distance ties break on
+// the canonical key, so the chosen warm start is stable for a given DB
+// population even when stores raced with the scan.
 func (db *DB) Nearest(u *linalg.Matrix, maxDist float64) (*Entry, float64, bool) {
+	db.mu.RLock()
+	cands := db.byDim[u.Rows] // entries are append-only and immutable
+	db.mu.RUnlock()
 	var best *Entry
 	bestDist := maxDist
-	for _, e := range db.byDim[u.Rows] {
-		if d := linalg.GlobalPhaseDistance(u, e.U); d < bestDist {
+	for _, e := range cands {
+		d := linalg.GlobalPhaseDistance(u, e.U)
+		switch {
+		case d < bestDist:
 			best, bestDist = e, d
+		case d == bestDist && best != nil && e.Key < best.Key:
+			best = e
 		}
 	}
 	if best == nil {
@@ -101,7 +174,158 @@ func (db *DB) Nearest(u *linalg.Matrix, maxDist float64) (*Entry, float64, bool)
 	return best, bestDist, true
 }
 
+// Outcome says how Do satisfied a request.
+type Outcome int
+
+const (
+	// OutcomeGenerated: this caller ran the generator (a fresh miss).
+	OutcomeGenerated Outcome = iota
+	// OutcomeHit: an already-stored entry matched the exact canonical key.
+	OutcomeHit
+	// OutcomePermuted: an already-stored entry matched a permuted key.
+	OutcomePermuted
+	// OutcomeDeduped: another worker was generating this unitary (or a
+	// permutation of it); this caller blocked and reused its result. perm
+	// is non-nil when the reused entry sits under a permuted key.
+	OutcomeDeduped
+)
+
+// Do serves u from the database or, on a miss, runs generate exactly once
+// across concurrent callers: the first caller to miss a canonical key
+// becomes the leader and runs generate; callers arriving for the same key
+// (or, with DetectPermutations, a permuted key) while the leader is in
+// flight block until it finishes and reuse the stored result. A leader
+// error releases the waiters, and the first of them retries as the new
+// leader. On success the result is stored under u's canonical key.
+//
+// perm follows the Lookup contract: non-nil when the returned entry sits
+// under a permuted key (outcome OutcomePermuted, or OutcomeDeduped after
+// waiting on a permuted in-flight generation).
+func (db *DB) Do(u *linalg.Matrix, generate func() (*Generated, error)) (*Generated, []int, Outcome, error) {
+	return db.do(u, db.DetectPermutations, generate)
+}
+
+// DoExact is Do with permutation detection disabled for this call: only
+// the exact canonical key is consulted for hits and in-flight coalescing.
+// Callers use it to regenerate after rejecting a permuted hit (e.g. a
+// stored schedule whose channels cannot be remapped onto this gate).
+func (db *DB) DoExact(u *linalg.Matrix, generate func() (*Generated, error)) (*Generated, []int, Outcome, error) {
+	return db.do(u, false, generate)
+}
+
+func (db *DB) do(u *linalg.Matrix, usePerms bool, generate func() (*Generated, error)) (*Generated, []int, Outcome, error) {
+	key := CanonicalKey(u)
+	permKeys := db.permutedKeys(u, usePerms)
+	waited := false
+	for {
+		// Fast path: read-locked hit checks.
+		if g, perm, oc, ok := db.tryHit(key, permKeys, waited); ok {
+			return g, perm, oc, nil
+		}
+
+		// Slow path: join an in-flight generation or become the leader.
+		db.mu.Lock()
+		if e := db.entries[key]; e != nil {
+			db.mu.Unlock()
+			return db.hitResult(e, nil, waited)
+		}
+		var joined *flight
+		if f := db.flights[key]; f != nil {
+			joined = f
+		} else {
+			for _, pk := range permKeys {
+				if e := db.entries[pk.key]; e != nil {
+					db.mu.Unlock()
+					return db.hitResult(e, pk.perm, waited)
+				}
+				if f := db.flights[pk.key]; f != nil {
+					joined = f
+					break
+				}
+			}
+		}
+		if joined != nil {
+			db.mu.Unlock()
+			if db.onWait != nil {
+				db.onWait()
+			}
+			<-joined.done
+			waited = true
+			continue // the leader stored, errored, or panicked; re-check
+		}
+		f := &flight{done: make(chan struct{})}
+		db.flights[key] = f
+		db.mu.Unlock()
+
+		db.misses.Add(1)
+		g, err := runGenerate(generate)
+		if err == nil && g != nil {
+			db.Store(u, g)
+		}
+		db.mu.Lock()
+		delete(db.flights, key)
+		db.mu.Unlock()
+		f.err = err
+		close(f.done)
+		return g, nil, OutcomeGenerated, err
+	}
+}
+
+// tryHit checks the stored entries under the read lock.
+func (db *DB) tryHit(key string, permKeys []permKey, waited bool) (*Generated, []int, Outcome, bool) {
+	db.mu.RLock()
+	if e := db.entries[key]; e != nil {
+		db.mu.RUnlock()
+		g, perm, oc, _ := db.hitResult(e, nil, waited)
+		return g, perm, oc, true
+	}
+	for _, pk := range permKeys {
+		if e := db.entries[pk.key]; e != nil {
+			db.mu.RUnlock()
+			g, perm, oc, _ := db.hitResult(e, pk.perm, waited)
+			return g, perm, oc, true
+		}
+	}
+	db.mu.RUnlock()
+	return nil, nil, 0, false
+}
+
+// hitResult classifies a hit: a plain cache hit when the entry predated
+// this call, a dedup when this caller blocked on the generating worker.
+func (db *DB) hitResult(e *Entry, perm []int, waited bool) (*Generated, []int, Outcome, error) {
+	db.hits.Add(1)
+	oc := OutcomeHit
+	if perm != nil {
+		oc = OutcomePermuted
+	}
+	if waited {
+		db.dedups.Add(1)
+		oc = OutcomeDeduped
+	}
+	return e.Generated, perm, oc, nil
+}
+
+// runGenerate converts a generator panic into an error so singleflight
+// waiters are always released.
+func runGenerate(generate func() (*Generated, error)) (g *Generated, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("pulse: generator panic: %v", r)
+		}
+	}()
+	return generate()
+}
+
+// permTables memoizes permutations by qubit count: the full k! table
+// (permutations) and the identity-free table used by lookups
+// (lookupPerms). Rebuilt never; callers must not mutate the returned
+// slices.
+var permTables sync.Map // k → [][]int, full table including identity
+
 func permutations(k int) [][]int {
+	if t, ok := permTables.Load(k); ok {
+		return t.([][]int)
+	}
 	base := make([]int, k)
 	for i := range base {
 		base[i] = i
@@ -119,7 +343,27 @@ func permutations(k int) [][]int {
 		}
 	}
 	rec(nil, base)
-	return out
+	t, _ := permTables.LoadOrStore(k, out)
+	return t.([][]int)
+}
+
+var lookupPermTables sync.Map // k → [][]int, identity hoisted out
+
+// lookupPerms returns permutations(k) minus the identity — the identity
+// case is the exact-key lookup, so hoisting it here spares every miss one
+// PermuteQubits + CanonicalKey round trip.
+func lookupPerms(k int) [][]int {
+	if t, ok := lookupPermTables.Load(k); ok {
+		return t.([][]int)
+	}
+	var out [][]int
+	for _, p := range permutations(k) {
+		if !isIdentityPerm(p) {
+			out = append(out, p)
+		}
+	}
+	t, _ := lookupPermTables.LoadOrStore(k, out)
+	return t.([][]int)
 }
 
 func isIdentityPerm(p []int) bool {

@@ -25,8 +25,11 @@ type dbFileEntry struct {
 	Schedule *Schedule    `json:"schedule,omitempty"`
 }
 
-// Save serializes every stored pulse.
+// Save serializes every stored pulse. It holds the read lock for the
+// duration, so a concurrent snapshot is internally consistent.
 func (db *DB) Save(w io.Writer) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	out := dbFile{Version: 1}
 	for _, dimEntries := range db.byDim {
 		for _, e := range dimEntries {

@@ -52,6 +52,12 @@ func EvolveCtx(ctx context.Context, sys *hamiltonian.System, sched *pulse.Schedu
 	u := linalg.Identity(sys.Dim)
 	amps := make([]float64, len(sys.Controls))
 	for j := 0; j < n; j++ {
+		if err := ctx.Err(); err != nil {
+			// Cancelled mid-evolution (a sibling worker failed): each slice
+			// costs a matrix exponential, so bail between slices rather
+			// than finishing the schedule.
+			return nil, err
+		}
 		for k := range amps {
 			amps[k] = sched.Amps[k][j]
 		}
