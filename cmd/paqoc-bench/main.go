@@ -42,7 +42,7 @@ func main() {
 	flag.Parse()
 
 	if *list {
-		fmt.Println("experiments: fig2 fig6 fig10 fig11 fig12 fig13 fig14 table1 table2 table2noisy table2full table3 ablate all")
+		fmt.Println("experiments: fig2 fig6 fig10 fig11 fig12 fig13 fig14 table1 table2 table2noisy table2full table3 ablate kernels all")
 		fmt.Println("benchmarks:")
 		for _, s := range bench.All() {
 			fmt.Printf("  %-16s %s (%d qubits)\n", s.Name, s.Description, s.Qubits)
@@ -65,8 +65,10 @@ func main() {
 	out := os.Stdout
 
 	// jsonRows captures the per-benchmark sweep whenever one runs, feeding
-	// the -json export after the human-readable output.
+	// the -json export after the human-readable output. kernelRecs does the
+	// same for the kernels experiment (its own schema).
 	var jsonRows []experiments.BenchRow
+	var kernelRecs []experiments.KernelRecord
 
 	var run func(string)
 	run = func(name string) {
@@ -129,6 +131,9 @@ func main() {
 			rows, err := experiments.TableIII(p)
 			check(err)
 			experiments.PrintTableIII(out, rows)
+		case "kernels":
+			kernelRecs = experiments.Kernels()
+			experiments.PrintKernels(out, kernelRecs)
 		case "all":
 			for _, n := range []string{"table1", "fig2", "fig6"} {
 				run(n)
@@ -158,15 +163,41 @@ func main() {
 	run(flag.Arg(0))
 
 	if *jsonOut != "" {
-		if jsonRows == nil {
-			fmt.Fprintf(os.Stderr, "paqoc-bench: -json applies to sweep experiments (fig10/fig11/fig12/all); nothing to write for %q\n", flag.Arg(0))
+		switch {
+		case kernelRecs != nil:
+			if err := writeKernelJSON(*jsonOut, kernelRecs); err != nil {
+				fatal(err)
+			}
+		case jsonRows != nil:
+			if err := writeBenchJSON(*jsonOut, jsonRows, p.Obs); err != nil {
+				fatal(err)
+			}
+		default:
+			fmt.Fprintf(os.Stderr, "paqoc-bench: -json applies to sweep experiments (fig10/fig11/fig12/all) and kernels; nothing to write for %q\n", flag.Arg(0))
 			return
-		}
-		if err := writeBenchJSON(*jsonOut, jsonRows, p.Obs); err != nil {
-			fatal(err)
 		}
 		fmt.Printf("results written to %s\n", *jsonOut)
 	}
+}
+
+// writeKernelJSON emits the destination-passing kernel benchmark records
+// (the BENCH_003.json artifact).
+func writeKernelJSON(path string, recs []experiments.KernelRecord) error {
+	doc := struct {
+		Schema  string                     `json:"schema"`
+		Results []experiments.KernelRecord `json:"results"`
+	}{Schema: "paqoc-bench/kernels/v1", Results: recs}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	werr := enc.Encode(doc)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
 }
 
 // benchRecord is one (benchmark, method) result in the -json export.

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -61,7 +62,7 @@ func main() {
 	}
 
 	opts := mining.Options{MaxGates: *maxGates, MaxQubits: *maxQubits, MinSupport: *minSupport}
-	patterns := mining.Mine(c, opts)
+	patterns := mining.MineCtx(context.Background(), c, opts)
 	fmt.Printf("%d gates, %d frequent patterns (support ≥ %d)\n", len(c.Gates), len(patterns), *minSupport)
 	for i, p := range patterns {
 		if i >= *top {

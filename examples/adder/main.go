@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -25,7 +26,7 @@ func main() {
 	fmt.Printf("4-bit Cuccaro adder: %d logical gates → %d physical gates\n",
 		len(logical.Gates), len(phys.Gates))
 
-	patterns := mining.Mine(phys, mining.DefaultOptions())
+	patterns := mining.MineCtx(context.Background(), phys, mining.DefaultOptions())
 	fmt.Println("most frequent subcircuits (MAJ/UMA internals):")
 	for i, p := range patterns {
 		if i >= 3 {
@@ -39,7 +40,7 @@ func main() {
 		cfg := paqoc.DefaultConfig()
 		cfg.M = m
 		compiler := paqoc.New(nil, topo, cfg)
-		res, err := compiler.Compile(phys)
+		res, err := compiler.CompileCtx(context.Background(), phys)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -24,7 +25,7 @@ func main() {
 	target := quantum.MatCX.Clone()
 	opts := grape.DefaultOptions()
 
-	naive, _, naiveFid, err := grape.MinimumTime(ideal, target, opts)
+	naive, _, naiveFid, err := grape.MinimumTimeCtx(context.Background(), ideal, target, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -39,7 +40,7 @@ func main() {
 	}
 	onHW := linalg.TraceFidelity(target, u)
 
-	awareSched, awareLat, awareFid, err := grape.MinimumTime(noisy, target, opts)
+	awareSched, awareLat, awareFid, err := grape.MinimumTimeCtx(context.Background(), noisy, target, opts)
 	if err != nil {
 		log.Fatal(err)
 	}

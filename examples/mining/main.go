@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -26,7 +27,7 @@ func main() {
 	fmt.Printf("bv: %d logical gates → %d physical gates (%d swaps inserted by SABRE)\n",
 		len(logical.Gates), len(phys.Gates), routed.SwapCount)
 
-	patterns := mining.Mine(phys, mining.DefaultOptions())
+	patterns := mining.MineCtx(context.Background(), phys, mining.DefaultOptions())
 	fmt.Printf("%d frequent patterns; top five by coverage:\n", len(patterns))
 	for i, p := range patterns {
 		if i >= 5 {

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -18,21 +19,21 @@ func main() {
 	opts := grape.DefaultOptions()
 
 	sys1 := hamiltonian.XYTransmon(1, nil)
-	_, hLat, hFid, err := grape.MinimumTime(sys1, quantum.MatH.Clone(), opts)
+	_, hLat, hFid, err := grape.MinimumTimeCtx(context.Background(), sys1, quantum.MatH.Clone(), opts)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("H pulse:        %3.0f dt at fidelity %.4f\n", hLat, hFid)
 
 	sys2 := hamiltonian.XYTransmon(2, hamiltonian.LinearChain(2))
-	cxSched, cxLat, cxFid, err := grape.MinimumTime(sys2, quantum.MatCX.Clone(), opts)
+	cxSched, cxLat, cxFid, err := grape.MinimumTimeCtx(context.Background(), sys2, quantum.MatCX.Clone(), opts)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("CX pulse:       %3.0f dt at fidelity %.4f\n", cxLat, cxFid)
 
 	merged := quantum.MatCX.Mul(quantum.MatH.Kron(quantum.MatI))
-	mSched, mLat, mFid, err := grape.MinimumTime(sys2, merged, opts)
+	mSched, mLat, mFid, err := grape.MinimumTimeCtx(context.Background(), sys2, merged, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -42,12 +43,12 @@ func main() {
 
 	// Independent verification: replay both schedules through the
 	// Hamiltonian and measure realized fidelity.
-	u, err := pulsesim.Evolve(sys2, cxSched)
+	u, err := pulsesim.EvolveCtx(context.Background(), sys2, cxSched)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("CX schedule replayed:     fidelity %.6f\n", pulsesim.GateFidelity(quantum.MatCX, u))
-	u, err = pulsesim.Evolve(sys2, mSched)
+	u, err = pulsesim.EvolveCtx(context.Background(), sys2, mSched)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -22,7 +23,7 @@ func main() {
 
 	// ── Offline: mine the parameterized circuit once ──────────────────
 	symbolic := bench.QAOAMaxcutSymbolic(n)
-	patterns := mining.Mine(symbolic, mining.DefaultOptions())
+	patterns := mining.MineCtx(context.Background(), symbolic, mining.DefaultOptions())
 	fmt.Printf("offline mining on the symbolic circuit: %d patterns\n", len(patterns))
 	for i, p := range patterns {
 		if i >= 2 {
@@ -41,7 +42,7 @@ func main() {
 		cfg := paqoc.DefaultConfig()
 		cfg.Preselected = selections
 		compiler := paqoc.New(nil, topo, cfg)
-		res, err := compiler.Compile(bound)
+		res, err := compiler.CompileCtx(context.Background(), bound)
 		if err != nil {
 			log.Fatal(err)
 		}

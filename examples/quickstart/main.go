@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -36,7 +37,7 @@ func main() {
 	cfg := paqoc.DefaultConfig()
 	cfg.M = paqoc.MInf // let the miner find recurring patterns too
 	compiler := paqoc.New(nil, topo, cfg)
-	res, err := compiler.Compile(phys)
+	res, err := compiler.CompileCtx(context.Background(), phys)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -31,7 +32,7 @@ func main() {
 	cfg := paqoc.DefaultConfig()
 	cfg.M = paqoc.MInf
 	compiler := paqoc.New(nil, topo, cfg)
-	res, err := compiler.Compile(phys)
+	res, err := compiler.CompileCtx(context.Background(), phys)
 	if err != nil {
 		log.Fatal(err)
 	}

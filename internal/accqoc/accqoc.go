@@ -53,11 +53,15 @@ type Result struct {
 }
 
 // Compile partitions the circuit and generates pulses per group.
+//
+// Deprecated: use CompileCtx; this wrapper delegates with a background
+// context.
 func Compile(c *circuit.Circuit, gen pulse.Generator, opts Options) (*Result, error) {
 	return CompileCtx(context.Background(), c, gen, opts)
 }
 
-// CompileCtx is Compile with observability — the baseline carries the same
+// CompileCtx is the real compilation entry point, with observability —
+// the baseline carries the same
 // instrumentation as the PAQOC path so per-stage latency breakdowns
 // compare like for like: spans accqoc.partition, accqoc.order, and
 // accqoc.emit under accqoc.compile, plus group counters.
@@ -102,7 +106,7 @@ func CompileCtx(ctx context.Context, c *circuit.Circuit, gen pulse.Generator, op
 	for _, bi := range order {
 		bi := bi
 		pool.Go(func(ctx context.Context) error {
-			g, err := pulse.GenerateCtx(ctx, gen, bc.Blocks[bi].Custom(), opts.FidelityTarget)
+			g, err := gen.GenerateCtx(ctx, bc.Blocks[bi].Custom(), opts.FidelityTarget)
 			if err != nil {
 				return fmt.Errorf("accqoc: group %s: %v", bc.Blocks[bi].Custom().Describe(), err)
 			}

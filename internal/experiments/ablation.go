@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -57,7 +58,7 @@ func (p *Platform) Ablation(benchName string) ([]AblationRow, error) {
 		cfg := base()
 		cc.mutate(&cfg)
 		comp := paqoc.New(nil, p.Topo, cfg)
-		res, err := comp.Compile(phys)
+		res, err := comp.CompileCtx(context.Background(), phys)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %v", cc.name, err)
 		}

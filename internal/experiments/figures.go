@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -30,17 +31,17 @@ type Fig2Result struct {
 func Fig2() (*Fig2Result, error) {
 	opts := grape.DefaultOptions()
 	sys1 := hamiltonian.XYTransmon(1, nil)
-	_, hLat, _, err := grape.MinimumTime(sys1, quantum.MatH.Clone(), opts)
+	_, hLat, _, err := grape.MinimumTimeCtx(context.Background(), sys1, quantum.MatH.Clone(), opts)
 	if err != nil {
 		return nil, err
 	}
 	sys2 := hamiltonian.XYTransmon(2, hamiltonian.LinearChain(2))
-	_, cxLat, _, err := grape.MinimumTime(sys2, quantum.MatCX.Clone(), opts)
+	_, cxLat, _, err := grape.MinimumTimeCtx(context.Background(), sys2, quantum.MatCX.Clone(), opts)
 	if err != nil {
 		return nil, err
 	}
 	merged := quantum.MatCX.Mul(quantum.MatH.Kron(quantum.MatI))
-	_, mLat, _, err := grape.MinimumTime(sys2, merged, opts)
+	_, mLat, _, err := grape.MinimumTimeCtx(context.Background(), sys2, merged, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -233,7 +234,7 @@ func Fig14(p *Platform, specs []bench.Spec) (*Fig14Result, error) {
 		cfg.M = paqocpkg.MInf
 		cfg.FidelityTarget = p.Fidelity
 		comp := paqocpkg.New(nil, p.Topo, cfg)
-		out, err := comp.Compile(phys)
+		out, err := comp.CompileCtx(context.Background(), phys)
 		if err != nil {
 			return nil, err
 		}

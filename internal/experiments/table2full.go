@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -49,7 +50,7 @@ func TableIIFull(p *Platform, benches []string, maxUsedQubits int) ([]TableIIFul
 		cfg.FidelityTarget = 0.999 // GRAPE-feasible target
 		cfg.ProbeCaseII = false
 		comp := paqoc.New(gen, p.Topo, cfg)
-		res, err := comp.Compile(phys)
+		res, err := comp.CompileCtx(context.Background(), phys)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %v", name, err)
 		}
@@ -87,7 +88,7 @@ func TableIIFull(p *Platform, benches []string, maxUsedQubits int) ([]TableIIFul
 				return nil, err
 			}
 			sys := hamiltonian.XYTransmon(cg.NumQubits(), blockCouplings(p, cg))
-			got, err := pulsesim.Evolve(sys, b.Gen.Schedule)
+			got, err := pulsesim.EvolveCtx(context.Background(), sys, b.Gen.Schedule)
 			if err != nil {
 				return nil, fmt.Errorf("%s: block %s: %v", name, cg.Describe(), err)
 			}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -66,7 +67,7 @@ func (p *Platform) methodBlocks(phys *circuit.Circuit) (map[string]*critical.Blo
 		gen := latency.NewModel()
 		gen.Topo = p.Topo
 		gen.DB.DetectPermutations = false
-		res, err := accqoc.Compile(phys, gen, accqoc.Options{MaxQubits: 3, Depth: depth, FidelityTarget: p.Fidelity})
+		res, err := accqoc.CompileCtx(context.Background(), phys, gen, accqoc.Options{MaxQubits: 3, Depth: depth, FidelityTarget: p.Fidelity})
 		if err != nil {
 			return nil, err
 		}
@@ -82,7 +83,7 @@ func (p *Platform) methodBlocks(phys *circuit.Circuit) (map[string]*critical.Blo
 			cfg.M = 0
 			name = "paqoc_m0"
 		case mTunedSentinel:
-			patterns := mining.Mine(phys, mining.DefaultOptions())
+			patterns := mining.MineCtx(context.Background(), phys, mining.DefaultOptions())
 			cfg.M = mining.TunedM(phys, patterns, cfg.MinSupport)
 			name = "paqoc_mtuned"
 		default:
@@ -90,7 +91,7 @@ func (p *Platform) methodBlocks(phys *circuit.Circuit) (map[string]*critical.Blo
 			name = "paqoc_minf"
 		}
 		comp := paqoc.New(nil, p.Topo, cfg)
-		res, err := comp.Compile(phys)
+		res, err := comp.CompileCtx(context.Background(), phys)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -133,7 +134,7 @@ func TableIII(p *Platform) ([]TableIIIRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		patterns := mining.Mine(phys, mining.DefaultOptions())
+		patterns := mining.MineCtx(context.Background(), phys, mining.DefaultOptions())
 		if len(patterns) > 2 {
 			patterns = patterns[:2]
 		}

@@ -34,18 +34,22 @@ func NewGenerator(opts Options) *Generator {
 }
 
 var (
-	_ pulse.Generator    = (*Generator)(nil)
-	_ pulse.CtxGenerator = (*Generator)(nil)
+	_ pulse.Generator       = (*Generator)(nil)
+	_ pulse.LegacyGenerator = (*Generator)(nil)
 )
 
 // Generate produces pulses for one customized gate.
+//
+// Deprecated: use GenerateCtx; this wrapper delegates with a background
+// context.
 func (g *Generator) Generate(cg *pulse.CustomGate, fidelityTarget float64) (*pulse.Generated, error) {
 	return g.GenerateCtx(context.Background(), cg, fidelityTarget)
 }
 
-// GenerateCtx is Generate with observability: a "grape.generate" span per
-// customized gate and counters for database reuse (exact, permuted, warm
-// start, singleflight dedup) versus fresh optimizations.
+// GenerateCtx produces pulses for one customized gate, with observability:
+// a "grape.generate" span per customized gate and counters for database
+// reuse (exact, permuted, warm start, singleflight dedup) versus fresh
+// optimizations.
 //
 // Concurrent calls sharing one DB are safe and deduplicated: workers that
 // request the same canonical unitary while another worker is optimizing it

@@ -4,6 +4,12 @@
 // (the optimizer the paper selects, §VI-d), amplitude clipping to hardware
 // bounds, and a binary search for the minimum pulse duration achieving a
 // target fidelity — which is exactly the latency PAQOC minimizes.
+//
+// The inner loop runs on the destination-passing linalg kernels: one
+// arena of propagator/gradient buffers is allocated per optimization
+// call (and shared across a minimum-time search's duration probes), so
+// ADAM iterations allocate nothing. OptimizeReference preserves the
+// value-returning formulation as the bit-identity oracle.
 package grape
 
 import (
@@ -80,16 +86,90 @@ type Result struct {
 	Trace *obs.ConvergenceTrace
 }
 
+// arena holds the reusable buffers of the GRAPE inner loop for one
+// optimization call — or, via MinimumTimeCtx, for a whole binary search,
+// where every duration probe reuses the same storage (buffers grow to
+// the largest slice count seen and shrink by reslicing). An arena is
+// owned by a single goroutine and never escapes into a Result: best-so-
+// far amplitudes are snapshotted into per-call storage.
+type arena struct {
+	dim int
+	ws  *linalg.Workspace
+	// props[j] is slice j's propagator; fwd[j] = U_j···U_1 (fwd[0] = I).
+	props, fwd []*linalg.Matrix
+	// c / cNext ping-pong the backward cumulative product; d holds
+	// X_j·C_j; targetDag caches V† for the whole call.
+	c, cNext, d, targetDag *linalg.Matrix
+	sliceAmps              []float64
+	amps, grads, m, v      [][]float64
+}
+
+func newArena() *arena { return &arena{} }
+
+// ensure sizes every buffer for a (dim, controls, slices) problem,
+// reusing prior storage where shapes allow.
+func (ar *arena) ensure(dim, nc, slices int) {
+	if ar.dim != dim {
+		ar.dim = dim
+		ar.ws = linalg.NewWorkspace(dim)
+		ar.c = linalg.New(dim, dim)
+		ar.cNext = linalg.New(dim, dim)
+		ar.d = linalg.New(dim, dim)
+		ar.targetDag = linalg.New(dim, dim)
+		ar.props, ar.fwd = nil, nil
+	}
+	for len(ar.props) < slices {
+		ar.props = append(ar.props, linalg.New(dim, dim))
+	}
+	for len(ar.fwd) < slices+1 {
+		ar.fwd = append(ar.fwd, linalg.New(dim, dim))
+	}
+	if cap(ar.sliceAmps) < nc {
+		ar.sliceAmps = make([]float64, nc)
+	}
+	ar.sliceAmps = ar.sliceAmps[:nc]
+	ar.amps = growRows(ar.amps, nc, slices)
+	ar.grads = growRows(ar.grads, nc, slices)
+	ar.m = growRows(ar.m, nc, slices)
+	ar.v = growRows(ar.v, nc, slices)
+}
+
+func growRows(rows [][]float64, nc, slices int) [][]float64 {
+	for len(rows) < nc {
+		rows = append(rows, nil)
+	}
+	rows = rows[:nc]
+	for k := range rows {
+		if cap(rows[k]) < slices {
+			rows[k] = make([]float64, slices)
+		}
+		rows[k] = rows[k][:slices]
+	}
+	return rows
+}
+
 // Optimize runs GRAPE for a fixed number of slices against the target
 // unitary on the given system and returns the best controls found.
+//
+// Deprecated: use OptimizeCtx; this wrapper delegates with a background
+// context.
 func Optimize(sys *hamiltonian.System, target *linalg.Matrix, slices int, opts Options) *Result {
 	return OptimizeCtx(context.Background(), sys, target, slices, opts)
 }
 
-// OptimizeCtx is Optimize with observability: when the context carries a
-// metrics registry, per-iteration counters (grape.iterations, grape.expm)
-// and the gradient-norm histogram are updated.
+// OptimizeCtx is the real optimizer entry point, with observability: when
+// the context carries a metrics registry, per-iteration counters
+// (grape.iterations, grape.expm) and the gradient-norm histogram are
+// updated.
 func OptimizeCtx(ctx context.Context, sys *hamiltonian.System, target *linalg.Matrix, slices int, opts Options) *Result {
+	return optimize(ctx, sys, target, slices, opts, newArena())
+}
+
+// optimize is the allocation-free inner loop. All per-iteration storage
+// lives in ar; numerical results are bit-identical to OptimizeReference
+// (same operation order, only storage reuse — pinned by
+// TestOptimizeMatchesReference).
+func optimize(ctx context.Context, sys *hamiltonian.System, target *linalg.Matrix, slices int, opts Options, ar *arena) *Result {
 	opts.fill()
 	reg := obs.MetricsFrom(ctx)
 	iterCtr := reg.Counter("grape.iterations")
@@ -100,10 +180,10 @@ func OptimizeCtx(ctx context.Context, sys *hamiltonian.System, target *linalg.Ma
 	}
 	nc := len(sys.Controls)
 	rng := rand.New(rand.NewSource(opts.Seed + int64(slices)))
+	ar.ensure(sys.Dim, nc, slices)
 
-	amps := make([][]float64, nc)
+	amps := ar.amps
 	for k := range amps {
-		amps[k] = make([]float64, slices)
 		for j := range amps[k] {
 			amps[k][j] = sys.Controls[k].Bound * 0.2 * (rng.Float64()*2 - 1)
 		}
@@ -121,12 +201,12 @@ func OptimizeCtx(ctx context.Context, sys *hamiltonian.System, target *linalg.Ma
 		}
 	}
 
-	// ADAM state.
-	m := make([][]float64, nc)
-	v := make([][]float64, nc)
-	for k := range m {
-		m[k] = make([]float64, slices)
-		v[k] = make([]float64, slices)
+	// ADAM state (zeroed: the arena may carry a previous probe's moments).
+	m, v := ar.m, ar.v
+	for k := 0; k < nc; k++ {
+		for j := 0; j < slices; j++ {
+			m[k][j], v[k][j] = 0, 0
+		}
 	}
 	const beta1, beta2, eps = 0.9, 0.999, 1e-8
 
@@ -138,6 +218,10 @@ func OptimizeCtx(ctx context.Context, sys *hamiltonian.System, target *linalg.Ma
 	dim := float64(sys.Dim)
 	dt := opts.SliceDt
 
+	props, fwd := ar.props[:slices], ar.fwd[:slices+1]
+	linalg.IdentityInto(fwd[0])
+	linalg.DaggerInto(ar.targetDag, target) // V†, constant across iterations
+
 	for iter := 1; iter <= opts.MaxIter; iter++ {
 		if ctx.Err() != nil {
 			// Cancelled mid-optimization (a sibling worker failed or the
@@ -147,16 +231,12 @@ func OptimizeCtx(ctx context.Context, sys *hamiltonian.System, target *linalg.Ma
 		}
 		iterCtr.Inc()
 		// Forward pass: slice propagators and cumulative products.
-		props := make([]*linalg.Matrix, slices)
-		fwd := make([]*linalg.Matrix, slices+1) // fwd[j] = U_j···U_1, fwd[0] = I
-		fwd[0] = linalg.Identity(sys.Dim)
-		sliceAmps := make([]float64, nc)
 		for j := 0; j < slices; j++ {
 			for k := 0; k < nc; k++ {
-				sliceAmps[k] = amps[k][j]
+				ar.sliceAmps[k] = amps[k][j]
 			}
-			props[j] = sys.Propagator(sliceAmps, dt)
-			fwd[j+1] = props[j].Mul(fwd[j])
+			sys.PropagatorInto(props[j], ar.sliceAmps, dt, ar.ws)
+			linalg.MulInto(fwd[j+1], props[j], fwd[j])
 		}
 		expmCtr.Add(int64(slices))
 		overlap := linalg.TraceOverlap(target, fwd[slices]) // tr(V†·X_N)
@@ -164,12 +244,18 @@ func OptimizeCtx(ctx context.Context, sys *hamiltonian.System, target *linalg.Ma
 		if fid > best.Fidelity {
 			best.Fidelity = fid
 			best.Iters = iter
-			best.Amps = cloneAmps(amps)
+			if best.Amps == nil {
+				best.Amps = cloneAmps(amps)
+			} else {
+				copyAmps(best.Amps, amps)
+			}
 			if fid >= opts.TargetFidelity {
-				pt := obs.ConvergencePoint{Iter: iter, Fidelity: fid}
-				trace.Record(pt)
-				if opts.OnIteration != nil {
-					opts.OnIteration(pt)
+				if trace != nil || opts.OnIteration != nil {
+					pt := obs.ConvergencePoint{Iter: iter, Fidelity: fid}
+					trace.Record(pt)
+					if opts.OnIteration != nil {
+						opts.OnIteration(pt)
+					}
 				}
 				return best
 			}
@@ -178,22 +264,21 @@ func OptimizeCtx(ctx context.Context, sys *hamiltonian.System, target *linalg.Ma
 		// Backward pass: C_j = V†·B_j with B_j = U_N···U_{j+1}.
 		// ∂Φ/∂u_{k,j} = (2/d²)·Re[conj(g)·tr(C_j·(-i·dt·H_k)·X_j)]
 		// where X_j = fwd[j+1]. Using cyclicity, tr(C·H·X) = tr((X·C)·H).
-		c := target.Dagger() // C_N = V† (B_N = I)
-		grads := make([][]float64, nc)
-		for k := range grads {
-			grads[k] = make([]float64, slices)
-		}
+		c, cNext := ar.c, ar.cNext
+		c.CopyFrom(ar.targetDag) // C_N = V† (B_N = I)
+		grads := ar.grads
 		var gradSq float64
 		for j := slices - 1; j >= 0; j-- {
-			d := fwd[j+1].Mul(c) // X_j · C_j
+			linalg.MulInto(ar.d, fwd[j+1], c) // X_j · C_j
 			for k := 0; k < nc; k++ {
-				t := traceProduct(d, sys.Controls[k].H)
+				t := traceProduct(ar.d, sys.Controls[k].H)
 				val := complex(0, -dt) * t
 				g := 2 / (dim * dim) * (real(overlap)*real(val) + imag(overlap)*imag(val))
 				grads[k][j] = g
 				gradSq += g * g
 			}
-			c = c.Mul(props[j]) // C_{j-1} = C_j·U_j
+			linalg.MulInto(cNext, c, props[j]) // C_{j-1} = C_j·U_j
+			c, cNext = cNext, c
 		}
 		gradNorm := math.Sqrt(gradSq)
 		gradHist.Observe(gradNorm)
@@ -251,17 +336,29 @@ func cloneAmps(a [][]float64) [][]float64 {
 	return out
 }
 
+// copyAmps copies src into the same-shaped dst.
+func copyAmps(dst, src [][]float64) {
+	for k := range src {
+		copy(dst[k], src[k])
+	}
+}
+
 // MinimumTime binary-searches the smallest slice count whose optimized
 // fidelity reaches the target (§V-B: "the minimum duration of the control
 // pulses of a customized gate by binary search"). It returns the winning
 // schedule, its latency in dt, and the achieved fidelity.
+//
+// Deprecated: use MinimumTimeCtx; this wrapper delegates with a
+// background context.
 func MinimumTime(sys *hamiltonian.System, target *linalg.Matrix, opts Options) (*pulse.Schedule, float64, float64, error) {
 	return MinimumTimeCtx(context.Background(), sys, target, opts)
 }
 
-// MinimumTimeCtx is MinimumTime with observability: one span per duration
-// probe ("grape.binsearch.probe", tagged with the slice count and achieved
-// fidelity) under a "grape.binsearch" span, plus probe counters.
+// MinimumTimeCtx is the real minimum-time search, with observability: one
+// span per duration probe ("grape.binsearch.probe", tagged with the slice
+// count and achieved fidelity) under a "grape.binsearch" span, plus probe
+// counters. All duration probes share one buffer arena, so the search
+// allocates per distinct slice-count high-water mark, not per probe.
 func MinimumTimeCtx(ctx context.Context, sys *hamiltonian.System, target *linalg.Matrix, opts Options) (*pulse.Schedule, float64, float64, error) {
 	opts.fill()
 	reg := obs.MetricsFrom(ctx)
@@ -270,10 +367,11 @@ func MinimumTimeCtx(ctx context.Context, sys *hamiltonian.System, target *linalg
 	bsSpan.SetAttr("dim", sys.Dim)
 	defer bsSpan.End()
 
+	ar := newArena()
 	run := func(slices int) *Result {
 		probeCtr.Inc()
 		probeCtx, span := obs.StartSpan(ctx, "grape.binsearch.probe")
-		res := OptimizeCtx(probeCtx, sys, target, slices, opts)
+		res := optimize(probeCtx, sys, target, slices, opts, ar)
 		span.SetAttr("slices", slices)
 		span.SetAttr("fidelity", res.Fidelity)
 		span.SetAttr("iters", res.Iters)

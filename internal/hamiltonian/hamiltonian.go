@@ -113,24 +113,48 @@ func AllPairs(n int) [][2]int {
 }
 
 // Hamiltonian assembles H(t) for one vector of control amplitudes.
+// Allocates; see HamiltonianInto.
 func (s *System) Hamiltonian(amps []float64) *linalg.Matrix {
+	h := linalg.New(s.Dim, s.Dim)
+	s.HamiltonianInto(h, amps)
+	return h
+}
+
+// HamiltonianInto assembles H(t) into dst (Dim×Dim), without allocating.
+func (s *System) HamiltonianInto(dst *linalg.Matrix, amps []float64) {
 	if len(amps) != len(s.Controls) {
 		panic(fmt.Sprintf("hamiltonian: %d amps for %d controls", len(amps), len(s.Controls)))
 	}
-	h := s.Drift.Clone()
+	dst.CopyFrom(s.Drift)
 	for k, c := range s.Controls {
 		if amps[k] == 0 {
 			continue
 		}
-		h.AddInPlace(c.H, complex(amps[k], 0))
+		dst.AddInPlace(c.H, complex(amps[k], 0))
 	}
-	return h
 }
 
 // Propagator returns the unitary e^{-i·H(amps)·dt} for one slice of
-// duration dt.
+// duration dt. Allocates; see PropagatorInto for the destination-passing
+// form used by the GRAPE and pulse-simulation hot loops.
 func (s *System) Propagator(amps []float64, dt float64) *linalg.Matrix {
-	return linalg.ExpmHermitian(s.Hamiltonian(amps), dt)
+	dst := linalg.New(s.Dim, s.Dim)
+	s.PropagatorInto(dst, amps, dt, nil)
+	return dst
+}
+
+// PropagatorInto computes e^{-i·H(amps)·dt} into dst (Dim×Dim) without
+// allocating: the Hamiltonian is assembled in ws.Scratch and the
+// exponential runs on ws's buffers. A nil ws allocates a temporary one.
+// dst must not alias a workspace buffer. Results are bit-identical to
+// Propagator.
+func (s *System) PropagatorInto(dst *linalg.Matrix, amps []float64, dt float64, ws *linalg.Workspace) {
+	if ws == nil {
+		ws = linalg.NewWorkspace(s.Dim)
+	}
+	h := ws.Scratch(s.Dim)
+	s.HamiltonianInto(h, amps)
+	linalg.ExpmHermitianInto(dst, h, dt, ws)
 }
 
 // ClipAmps clamps each amplitude to its control's bound, in place.

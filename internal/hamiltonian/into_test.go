@@ -1,0 +1,51 @@
+package hamiltonian
+
+import (
+	"math/rand"
+	"testing"
+
+	"paqoc/internal/linalg"
+)
+
+// TestPropagatorIntoMatchesPropagator pins the wrapper contract on the
+// system level: the destination-passing propagator is bit-identical to
+// the allocating one, with and without a shared workspace.
+func TestPropagatorIntoMatchesPropagator(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	sys := XYTransmon(2, [][2]int{{0, 1}})
+	ws := linalg.NewWorkspace(sys.Dim)
+	amps := make([]float64, len(sys.Controls))
+	dst := linalg.New(sys.Dim, sys.Dim)
+	for trial := 0; trial < 5; trial++ {
+		for k := range amps {
+			amps[k] = sys.Controls[k].Bound * (rng.Float64()*2 - 1)
+		}
+		want := sys.Propagator(amps, 4)
+		sys.PropagatorInto(dst, amps, 4, ws)
+		if !want.Equal(dst, 0) {
+			t.Fatalf("trial %d: PropagatorInto diverged from Propagator", trial)
+		}
+		sys.PropagatorInto(dst, amps, 4, nil)
+		if !want.Equal(dst, 0) {
+			t.Fatalf("trial %d: PropagatorInto with nil workspace diverged", trial)
+		}
+	}
+}
+
+// TestPropagatorIntoZeroAlloc gates the hot-loop contract: with a warm
+// workspace, assembling H and exponentiating allocates nothing.
+func TestPropagatorIntoZeroAlloc(t *testing.T) {
+	sys := XYTransmon(2, [][2]int{{0, 1}})
+	ws := linalg.NewWorkspace(sys.Dim)
+	amps := make([]float64, len(sys.Controls))
+	for k := range amps {
+		amps[k] = 0.01 * float64(k+1)
+	}
+	dst := linalg.New(sys.Dim, sys.Dim)
+	sys.PropagatorInto(dst, amps, 4, ws) // warm the workspace
+	if allocs := testing.AllocsPerRun(20, func() {
+		sys.PropagatorInto(dst, amps, 4, ws)
+	}); allocs != 0 {
+		t.Errorf("PropagatorInto: %v allocs/op with warm workspace, want 0", allocs)
+	}
+}

@@ -51,18 +51,22 @@ func NewModel() *Model {
 }
 
 var (
-	_ pulse.Generator    = (*Model)(nil)
-	_ pulse.CtxGenerator = (*Model)(nil)
+	_ pulse.Generator       = (*Model)(nil)
+	_ pulse.LegacyGenerator = (*Model)(nil)
 )
 
 // Generate estimates the pulse for a customized gate without running QOC.
-// The returned Generated carries no schedule; latency, error, and a
-// synthetic compile cost (seconds a GRAPE run would have taken) are filled.
+//
+// Deprecated: use GenerateCtx; this wrapper delegates with a background
+// context.
 func (m *Model) Generate(cg *pulse.CustomGate, fidelityTarget float64) (*pulse.Generated, error) {
 	return m.GenerateCtx(context.Background(), cg, fidelityTarget)
 }
 
-// GenerateCtx is Generate with observability: it counts analytical probes
+// GenerateCtx estimates the pulse for a customized gate without running
+// QOC. The returned Generated carries no schedule; latency, error, and a
+// synthetic compile cost (seconds a GRAPE run would have taken) are
+// filled. Observability: it counts analytical probes
 // and pulse-database hits on the context's metrics registry. Ranking
 // probes are far too frequent for per-call spans, so the model emits
 // counters only.

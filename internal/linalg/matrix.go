@@ -79,32 +79,25 @@ func (m *Matrix) Equal(o *Matrix, tol float64) bool {
 	return true
 }
 
-// Add returns m + o.
+// Add returns m + o. Allocates; see AddInto for the destination-passing
+// form.
 func (m *Matrix) Add(o *Matrix) *Matrix {
-	mustSameShape(m, o)
 	out := New(m.Rows, m.Cols)
-	for i := range m.Data {
-		out.Data[i] = m.Data[i] + o.Data[i]
-	}
+	AddInto(out, m, o)
 	return out
 }
 
-// Sub returns m - o.
+// Sub returns m - o. Allocates; see SubInto.
 func (m *Matrix) Sub(o *Matrix) *Matrix {
-	mustSameShape(m, o)
 	out := New(m.Rows, m.Cols)
-	for i := range m.Data {
-		out.Data[i] = m.Data[i] - o.Data[i]
-	}
+	SubInto(out, m, o)
 	return out
 }
 
-// Scale returns s*m.
+// Scale returns s*m. Allocates; see ScaleInto.
 func (m *Matrix) Scale(s complex128) *Matrix {
 	out := New(m.Rows, m.Cols)
-	for i := range m.Data {
-		out.Data[i] = s * m.Data[i]
-	}
+	ScaleInto(out, m, s)
 	return out
 }
 
@@ -116,53 +109,32 @@ func (m *Matrix) AddInPlace(o *Matrix, s complex128) {
 	}
 }
 
-// Mul returns the matrix product m·o.
+// Mul returns the matrix product m·o. Allocates; see MulInto for the
+// destination-passing form used on hot paths.
 func (m *Matrix) Mul(o *Matrix) *Matrix {
 	if m.Cols != o.Rows {
 		panic(fmt.Sprintf("linalg: Mul shape mismatch %dx%d · %dx%d", m.Rows, m.Cols, o.Rows, o.Cols))
 	}
 	out := New(m.Rows, o.Cols)
-	for r := 0; r < m.Rows; r++ {
-		mrow := m.Data[r*m.Cols : (r+1)*m.Cols]
-		orow := out.Data[r*o.Cols : (r+1)*o.Cols]
-		for k, mv := range mrow {
-			if mv == 0 {
-				continue
-			}
-			krow := o.Data[k*o.Cols : (k+1)*o.Cols]
-			for c, ov := range krow {
-				orow[c] += mv * ov
-			}
-		}
-	}
+	MulInto(out, m, o)
 	return out
 }
 
-// MulVec returns the matrix-vector product m·v.
+// MulVec returns the matrix-vector product m·v. Allocates; see
+// MulVecInto.
 func (m *Matrix) MulVec(v []complex128) []complex128 {
 	if m.Cols != len(v) {
 		panic("linalg: MulVec length mismatch")
 	}
 	out := make([]complex128, m.Rows)
-	for r := 0; r < m.Rows; r++ {
-		var s complex128
-		row := m.Data[r*m.Cols : (r+1)*m.Cols]
-		for c, mv := range row {
-			s += mv * v[c]
-		}
-		out[r] = s
-	}
+	MulVecInto(out, m, v)
 	return out
 }
 
-// Dagger returns the conjugate transpose m†.
+// Dagger returns the conjugate transpose m†. Allocates; see DaggerInto.
 func (m *Matrix) Dagger() *Matrix {
 	out := New(m.Cols, m.Rows)
-	for r := 0; r < m.Rows; r++ {
-		for c := 0; c < m.Cols; c++ {
-			out.Data[c*out.Cols+r] = cmplx.Conj(m.Data[r*m.Cols+c])
-		}
-	}
+	DaggerInto(out, m)
 	return out
 }
 

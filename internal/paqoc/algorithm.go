@@ -7,7 +7,6 @@ import (
 	"paqoc/internal/critical"
 	"paqoc/internal/engine"
 	"paqoc/internal/obs"
-	"paqoc/internal/pulse"
 )
 
 // optimize runs Algorithm 1: iteratively rank two-block merge candidates by
@@ -224,7 +223,7 @@ func (cp *Compiler) candidateLatency(ctx context.Context, cand *critical.Candida
 // proportional to merges performed rather than candidates ranked.
 func (cp *Compiler) applyLatency(ctx context.Context, m *critical.Block) (float64, error) {
 	if cp.Cfg.ProbeCaseII && cp.Gen != cp.Ranker {
-		g, err := pulse.GenerateCtx(ctx, cp.Gen, m.Custom(), cp.Cfg.FidelityTarget)
+		g, err := cp.Gen.GenerateCtx(ctx, m.Custom(), cp.Cfg.FidelityTarget)
 		if err != nil {
 			return 0, err
 		}

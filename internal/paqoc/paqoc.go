@@ -177,11 +177,15 @@ func (cp *Compiler) rank(ctx context.Context, b *critical.Block) (float64, error
 }
 
 // Compile runs the full pipeline on a physical circuit.
+//
+// Deprecated: use CompileCtx; this wrapper delegates with a background
+// context.
 func (cp *Compiler) Compile(phys *circuit.Circuit) (*Result, error) {
 	return cp.CompileCtx(context.Background(), phys)
 }
 
-// CompileCtx is Compile with observability: when the context carries an
+// CompileCtx runs the full pipeline on a physical circuit, with
+// observability: when the context carries an
 // obs tracer and/or metrics registry (internal/obs), every pipeline stage
 // opens a span (paqoc.mine, paqoc.initial_blocks, paqoc.apply_apa,
 // paqoc.optimize, paqoc.emit) and the merge loop, the pulse generators,
@@ -254,7 +258,7 @@ func (cp *Compiler) CompileCtx(ctx context.Context, phys *circuit.Circuit) (*Res
 	emitted := obs.MetricsFrom(ctx).Counter("paqoc.emit.blocks")
 	emitSpan.SetAttr("workers", cp.workers())
 	emit := func(ctx context.Context, b *critical.Block) error {
-		gen, err := pulse.GenerateCtx(ctx, cp.Gen, b.Custom(), cp.Cfg.FidelityTarget)
+		gen, err := cp.Gen.GenerateCtx(ctx, b.Custom(), cp.Cfg.FidelityTarget)
 		if err != nil {
 			return fmt.Errorf("paqoc: generating pulses for %s: %v", b.Custom().Describe(), err)
 		}

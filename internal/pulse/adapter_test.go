@@ -1,0 +1,75 @@
+package pulse
+
+import (
+	"context"
+	"testing"
+)
+
+// legacyOnly implements only the pre-context LegacyGenerator shape.
+type legacyOnly struct{ calls int }
+
+func (g *legacyOnly) Generate(cg *CustomGate, fidelityTarget float64) (*Generated, error) {
+	g.calls++
+	return &Generated{Latency: fidelityTarget * 100}, nil
+}
+
+// ctxGen implements the context-first Generator directly (and a legacy
+// Generate so Adapt sees both).
+type ctxGen struct{ ctxCalls, legacyCalls int }
+
+func (g *ctxGen) GenerateCtx(_ context.Context, cg *CustomGate, fidelityTarget float64) (*Generated, error) {
+	g.ctxCalls++
+	return &Generated{Latency: 1}, nil
+}
+
+func (g *ctxGen) Generate(cg *CustomGate, fidelityTarget float64) (*Generated, error) {
+	g.legacyCalls++
+	return g.GenerateCtx(context.Background(), cg, fidelityTarget)
+}
+
+// TestAdaptLiftsLegacyGenerator checks the adapter path: a context-free
+// generator becomes a context-first one that forwards calls (ignoring the
+// context) without re-wrapping.
+func TestAdaptLiftsLegacyGenerator(t *testing.T) {
+	legacy := &legacyOnly{}
+	gen := Adapt(legacy)
+	g, err := gen.GenerateCtx(context.Background(), &CustomGate{}, 0.999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Latency != 99.9 {
+		t.Errorf("adapter did not forward arguments: latency %v", g.Latency)
+	}
+	if legacy.calls != 1 {
+		t.Errorf("legacy Generate called %d times, want 1", legacy.calls)
+	}
+}
+
+// TestAdaptPassesThroughContextFirst checks that Adapt does not wrap a
+// generator that is already context-first — its GenerateCtx must be
+// called, not its legacy Generate.
+func TestAdaptPassesThroughContextFirst(t *testing.T) {
+	native := &ctxGen{}
+	gen := Adapt(native)
+	if gen != Generator(native) {
+		t.Error("Adapt wrapped a generator that already implements Generator")
+	}
+	if _, err := gen.GenerateCtx(context.Background(), &CustomGate{}, 0.999); err != nil {
+		t.Fatal(err)
+	}
+	if native.ctxCalls != 1 || native.legacyCalls != 0 {
+		t.Errorf("GenerateCtx/Generate called %d/%d times, want 1/0", native.ctxCalls, native.legacyCalls)
+	}
+}
+
+// TestDeprecatedGenerateCtxHelper keeps the old helper working for the
+// transition period.
+func TestDeprecatedGenerateCtxHelper(t *testing.T) {
+	native := &ctxGen{}
+	if _, err := GenerateCtx(context.Background(), native, &CustomGate{}, 0.999); err != nil {
+		t.Fatal(err)
+	}
+	if native.ctxCalls != 1 {
+		t.Errorf("helper did not dispatch to GenerateCtx (%d calls)", native.ctxCalls)
+	}
+}

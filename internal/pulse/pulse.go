@@ -132,29 +132,51 @@ func (cg *CustomGate) Describe() string {
 }
 
 // Generator produces control pulses for a customized gate at a given
-// fidelity target. Implementations: grape.Generator (real QOC) and
-// latency.Model (the paper's analytical model, §III-B).
+// fidelity target. The interface is context-first: the context carries
+// cancellation and the observability backends (internal/obs spans and
+// metrics), and implementations must behave identically when it carries
+// nothing. Implementations: grape.Generator (real QOC) and latency.Model
+// (the paper's analytical model, §III-B). Context-free legacy
+// implementations satisfy LegacyGenerator and are lifted with Adapt.
 type Generator interface {
-	Generate(cg *CustomGate, fidelityTarget float64) (*Generated, error)
-}
-
-// CtxGenerator is implemented by generators that accept a context carrying
-// observability backends (internal/obs spans and metrics). GenerateCtx
-// must behave exactly like Generate when the context carries nothing.
-type CtxGenerator interface {
-	Generator
 	GenerateCtx(ctx context.Context, cg *CustomGate, fidelityTarget float64) (*Generated, error)
 }
 
-// GenerateCtx invokes gen with the context when the generator supports it,
-// falling back to the plain Generate otherwise. This is the call sites'
-// single entry point, so instrumentation threads through without changing
-// the Generator interface every mock implements.
-func GenerateCtx(ctx context.Context, gen Generator, cg *CustomGate, fidelityTarget float64) (*Generated, error) {
-	if cg2, ok := gen.(CtxGenerator); ok {
-		return cg2.GenerateCtx(ctx, cg, fidelityTarget)
+// LegacyGenerator is the pre-context generator shape, kept so existing
+// context-free implementations (tests, third-party mocks) keep working
+// via Adapt.
+type LegacyGenerator interface {
+	Generate(cg *CustomGate, fidelityTarget float64) (*Generated, error)
+}
+
+// CtxGenerator is the former name of the context-first interface.
+//
+// Deprecated: use Generator, which is now context-first.
+type CtxGenerator = Generator
+
+// Adapt lifts a context-free generator into the context-first Generator
+// interface. If gen already implements Generator (the common case for
+// types that kept a deprecated Generate alongside GenerateCtx), it is
+// returned unchanged; otherwise the adapter ignores the context.
+func Adapt(gen LegacyGenerator) Generator {
+	if g, ok := gen.(Generator); ok {
+		return g
 	}
-	return gen.Generate(cg, fidelityTarget)
+	return legacyAdapter{gen}
+}
+
+type legacyAdapter struct{ gen LegacyGenerator }
+
+func (a legacyAdapter) GenerateCtx(_ context.Context, cg *CustomGate, fidelityTarget float64) (*Generated, error) {
+	return a.gen.Generate(cg, fidelityTarget)
+}
+
+// GenerateCtx invokes gen with the context.
+//
+// Deprecated: Generator is context-first now — call gen.GenerateCtx
+// directly; use Adapt for a context-free LegacyGenerator.
+func GenerateCtx(ctx context.Context, gen Generator, cg *CustomGate, fidelityTarget float64) (*Generated, error) {
+	return gen.GenerateCtx(ctx, cg, fidelityTarget)
 }
 
 // CanonicalKey returns a hashable identifier of a unitary modulo global

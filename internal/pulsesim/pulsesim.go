@@ -29,13 +29,18 @@ const DefaultT2 = 20000.0
 
 // Evolve multiplies the slice propagators of a schedule on the system it
 // was generated for, returning the realized unitary.
+//
+// Deprecated: use EvolveCtx; this wrapper delegates with a background
+// context.
 func Evolve(sys *hamiltonian.System, sched *pulse.Schedule) (*linalg.Matrix, error) {
 	return EvolveCtx(context.Background(), sys, sched)
 }
 
-// EvolveCtx is Evolve with observability: a "pulsesim.evolve" span per
-// schedule and counters for time slices propagated and matrix
-// exponentials computed (one per slice propagator).
+// EvolveCtx is the real evolution entry point, with observability: a
+// "pulsesim.evolve" span per schedule and counters for time slices
+// propagated and matrix exponentials computed (one per slice propagator).
+// The slice loop runs on destination-passing kernels: one propagator and
+// two state buffers are allocated up front and reused across all slices.
 func EvolveCtx(ctx context.Context, sys *hamiltonian.System, sched *pulse.Schedule) (*linalg.Matrix, error) {
 	if len(sched.Amps) != len(sys.Controls) {
 		return nil, fmt.Errorf("pulsesim: schedule has %d channels, system has %d controls",
@@ -50,6 +55,9 @@ func EvolveCtx(ctx context.Context, sys *hamiltonian.System, sched *pulse.Schedu
 	reg.Counter("pulsesim.slices").Add(int64(n))
 	reg.Counter("pulsesim.expm").Add(int64(n))
 	u := linalg.Identity(sys.Dim)
+	uNext := linalg.New(sys.Dim, sys.Dim)
+	prop := linalg.New(sys.Dim, sys.Dim)
+	ws := linalg.NewWorkspace(sys.Dim)
 	amps := make([]float64, len(sys.Controls))
 	for j := 0; j < n; j++ {
 		if err := ctx.Err(); err != nil {
@@ -61,7 +69,9 @@ func EvolveCtx(ctx context.Context, sys *hamiltonian.System, sched *pulse.Schedu
 		for k := range amps {
 			amps[k] = sched.Amps[k][j]
 		}
-		u = sys.Propagator(amps, sched.SliceDt).Mul(u)
+		sys.PropagatorInto(prop, amps, sched.SliceDt, ws)
+		linalg.MulInto(uNext, prop, u)
+		u, uNext = uNext, u
 	}
 	return u, nil
 }
@@ -104,12 +114,15 @@ func (s *CircuitSim) Fidelity(ideal *linalg.Matrix) float64 {
 
 // ESP is the estimated success probability of Eq. (2): the product over
 // customized gates of (1 - ε_i).
+//
+// Deprecated: use ESPCtx; this wrapper delegates with a background
+// context.
 func ESP(gens []*pulse.Generated) float64 {
 	return ESPCtx(context.Background(), gens)
 }
 
-// ESPCtx is ESP with observability: counts evaluations and the gates they
-// cover on the context's metrics registry.
+// ESPCtx is the real ESP evaluation, with observability: counts
+// evaluations and the gates they cover on the context's metrics registry.
 func ESPCtx(ctx context.Context, gens []*pulse.Generated) float64 {
 	reg := obs.MetricsFrom(ctx)
 	reg.Counter("pulsesim.esp_evals").Inc()
