@@ -1,0 +1,114 @@
+// Command paqoc-server runs the PAQOC pulse-compilation service: a
+// resident HTTP process with a bounded job queue, a compilation worker
+// pool, and a warm pulse database shared across every request — loaded
+// from -db at startup, snapshotted periodically, and persisted on
+// shutdown.
+//
+// Usage:
+//
+//	paqoc-server -addr :8080 -db pulses.db
+//
+// Endpoints: POST /v1/compile, GET /v1/jobs/{id}, GET /healthz,
+// GET /readyz, GET /metrics, and /debug/pprof. See the README's "Running
+// the service" section for curl examples.
+//
+// On SIGTERM or SIGINT the server stops accepting work (readyz flips to
+// 503 so load balancers drain it), finishes queued and in-flight jobs
+// within -drain, cancels stragglers, saves the pulse database
+// crash-safely, and exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"paqoc/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "paqoc-server:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr      = flag.String("addr", "localhost:8080", "listen address")
+		dbPath    = flag.String("db", "", "pulse-database file: loaded at startup, snapshotted periodically and on shutdown")
+		workers   = flag.Int("workers", 0, "concurrent compilation jobs (default GOMAXPROCS)")
+		queue     = flag.Int("queue", 64, "bounded job-queue depth; a full queue returns 429")
+		syncGates = flag.Int("sync-gates", 48, "auto-mode sync threshold in logical gates")
+		timeout   = flag.Duration("timeout", 2*time.Minute, "default per-job deadline")
+		maxTO     = flag.Duration("max-timeout", 10*time.Minute, "cap on client-requested deadlines")
+		snapshot  = flag.Duration("snapshot", 5*time.Minute, "pulse-DB snapshot interval (requires -db; <0 disables)")
+		drain     = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline")
+		rows      = flag.Int("rows", 5, "device grid rows")
+		cols      = flag.Int("cols", 5, "device grid cols")
+	)
+	flag.Parse()
+
+	srv, err := server.New(server.Config{
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		SyncGateLimit:    *syncGates,
+		DefaultTimeout:   *timeout,
+		MaxTimeout:       *maxTO,
+		DBPath:           *dbPath,
+		SnapshotInterval: *snapshot,
+		GridRows:         *rows,
+		GridCols:         *cols,
+	})
+	if err != nil {
+		return err
+	}
+	srv.Start()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	log.Printf("serving on http://%s (workers=%d queue=%d db=%q)", ln.Addr(), *workers, *queue, *dbPath)
+
+	errCh := make(chan error, 1)
+	go func() {
+		if err := httpSrv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+			return
+		}
+		errCh <- nil
+	}()
+
+	sigCtx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	select {
+	case err := <-errCh:
+		return err
+	case <-sigCtx.Done():
+	}
+	log.Printf("signal received, draining (deadline %v)", *drain)
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	// Drain connections and the job queue concurrently: finishing jobs is
+	// what unblocks synchronous requests, so the two must overlap.
+	httpDone := make(chan error, 1)
+	go func() { httpDone <- httpSrv.Shutdown(drainCtx) }()
+	jobErr := srv.Shutdown(drainCtx)
+	httpErr := <-httpDone
+	<-errCh
+	if jobErr != nil {
+		return jobErr
+	}
+	return httpErr
+}

@@ -222,6 +222,13 @@ func run() error {
 	if o != nil && o.Tracer != nil {
 		fmt.Println("\nper-stage summary:")
 		o.Tracer.WriteSummary(os.Stdout)
+		if o.Metrics != nil {
+			// Pool saturation: how parallel the emit/probe stages actually ran.
+			snap := o.Metrics.Snapshot()
+			fmt.Printf("  engine pool: %d tasks, %d completed, peak %g active, peak %g queued\n",
+				snap.Counters["engine.tasks"], snap.Counters["engine.completed"],
+				snap.Gauges["engine.active_workers.peak"], snap.Gauges["engine.queued.peak"])
+		}
 	}
 	if *traceFile != "" {
 		if err := writeFileWith(*traceFile, o.Tracer.WriteChromeTrace); err != nil {
@@ -252,11 +259,16 @@ func preregisterMetrics(r *obs.Registry) {
 		"pulsesim.slices", "pulsesim.expm", "pulsesim.esp_evals", "pulsesim.esp_gates",
 		"mining.subcircuits_enumerated", "mining.pruned_qubit_cap", "mining.patterns",
 		"latency.model.probes", "latency.model.db_hits",
-		"engine.tasks", "pulse.db_dedups",
+		"engine.tasks", "engine.completed", "pulse.db_dedups",
 	} {
 		r.Counter(name)
 	}
-	r.Gauge("engine.inflight")
+	for _, name := range []string{
+		"engine.inflight", "engine.active_workers", "engine.active_workers.peak",
+		"engine.queued", "engine.queued.peak",
+	} {
+		r.Gauge(name)
+	}
 }
 
 // writeFileWith streams fn into path, closing the file on every path and
@@ -277,25 +289,17 @@ func writeFileWith(path string, fn func(io.Writer) error) error {
 // loadPulseDB opens a pulse database file; a missing file is not an error
 // (the database starts empty and is written back after compiling).
 func loadPulseDB(path string) (*pulse.DB, int, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		if os.IsNotExist(err) {
-			return nil, 0, nil
-		}
-		return nil, 0, err
-	}
-	defer f.Close()
-	db, err := pulse.LoadDB(f)
-	if err != nil {
+	db, ok, err := pulse.LoadFile(path)
+	if err != nil || !ok {
 		return nil, 0, err
 	}
 	return db, db.Len(), nil
 }
 
-// savePulseDB writes the generator's database, closing the file even when
-// serialization fails.
+// savePulseDB writes the generator's database crash-safely (temp file +
+// rename), so an interrupted save never corrupts an existing database.
 func savePulseDB(path string, g *grape.Generator) error {
-	return writeFileWith(path, func(w io.Writer) error { return g.DB.Save(w) })
+	return g.DB.SaveFile(path)
 }
 
 // verifyCompiled checks, on the statevector simulator, that the compiled

@@ -12,8 +12,12 @@
 // owns its index) and reduce them in submission order after Wait.
 //
 // When the context carries an obs metrics registry, the pool maintains the
-// engine.inflight gauge (currently running tasks) and the engine.tasks
-// counter.
+// engine.inflight and engine.active_workers gauges (currently running
+// tasks), the engine.queued gauge (tasks blocked waiting for a worker
+// slot), their .peak high-water marks, and the engine.tasks /
+// engine.completed counters. All pools sharing one registry update the
+// same instruments via atomic deltas, so the gauges reflect process-wide
+// saturation even when several groups are live at once.
 package engine
 
 import (
@@ -38,9 +42,13 @@ type Group struct {
 	mu  sync.Mutex
 	err error
 
-	inflight *obs.Gauge
-	tasks    *obs.Counter
-	running  int64 // guarded by mu; mirrored into the gauge
+	inflight   *obs.Gauge // legacy name, same value as active
+	active     *obs.Gauge
+	activePeak *obs.Gauge
+	queued     *obs.Gauge
+	queuedPeak *obs.Gauge
+	tasks      *obs.Counter
+	completed  *obs.Counter
 }
 
 // WithContext returns a Group running at most `workers` tasks concurrently
@@ -51,10 +59,15 @@ func WithContext(ctx context.Context, workers int) (*Group, context.Context) {
 	gctx, cancel := context.WithCancel(ctx)
 	reg := obs.MetricsFrom(ctx)
 	g := &Group{
-		ctx:      gctx,
-		cancel:   cancel,
-		inflight: reg.Gauge("engine.inflight"),
-		tasks:    reg.Counter("engine.tasks"),
+		ctx:        gctx,
+		cancel:     cancel,
+		inflight:   reg.Gauge("engine.inflight"),
+		active:     reg.Gauge("engine.active_workers"),
+		activePeak: reg.Gauge("engine.active_workers.peak"),
+		queued:     reg.Gauge("engine.queued"),
+		queuedPeak: reg.Gauge("engine.queued.peak"),
+		tasks:      reg.Counter("engine.tasks"),
+		completed:  reg.Counter("engine.completed"),
 	}
 	if workers > 1 {
 		g.sem = make(chan struct{}, workers)
@@ -75,7 +88,9 @@ func (g *Group) Go(fn func(ctx context.Context) error) {
 		g.run(fn)
 		return
 	}
+	g.queuedPeak.Max(g.queued.Add(+1))
 	g.sem <- struct{}{}
+	g.queued.Add(-1)
 	g.wg.Add(1)
 	go func() {
 		defer g.wg.Done()
@@ -106,6 +121,7 @@ func (g *Group) failed() bool {
 func (g *Group) run(fn func(ctx context.Context) error) {
 	g.tasks.Inc()
 	g.track(+1)
+	defer g.completed.Inc()
 	defer g.track(-1)
 	defer func() {
 		if r := recover(); r != nil {
@@ -126,12 +142,12 @@ func (g *Group) fail(err error) {
 	g.cancel()
 }
 
-func (g *Group) track(delta int64) {
-	g.mu.Lock()
-	g.running += delta
-	v := g.running
-	g.mu.Unlock()
-	g.inflight.Set(float64(v))
+// track adjusts the running-task gauges by atomic delta so groups sharing
+// a registry compose: the gauges read as process-wide totals, not the last
+// group's private count.
+func (g *Group) track(delta float64) {
+	g.inflight.Add(delta)
+	g.activePeak.Max(g.active.Add(delta))
 }
 
 // ForEach runs fn(ctx, i) for every i in [0, n) on a bounded pool and

@@ -165,6 +165,58 @@ func TestMetricsGaugeAndCounter(t *testing.T) {
 	if v := reg.Gauge("engine.inflight").Value(); v != 0 {
 		t.Errorf("engine.inflight = %v after Wait, want 0", v)
 	}
+	if v := reg.Counter("engine.completed").Value(); v != 6 {
+		t.Errorf("engine.completed = %d, want 6", v)
+	}
+	for _, name := range []string{"engine.active_workers", "engine.queued"} {
+		if v := reg.Gauge(name).Value(); v != 0 {
+			t.Errorf("%s = %v after Wait, want 0", name, v)
+		}
+	}
+	if v := reg.Gauge("engine.active_workers.peak").Value(); v < 1 || v > 2 {
+		t.Errorf("engine.active_workers.peak = %v, want in [1,2]", v)
+	}
+}
+
+// TestPoolHealthGaugesCompose checks that two concurrently live groups
+// sharing a registry produce additive gauges: while both hold a running
+// task, engine.active_workers reads 2, and it returns to 0 after both
+// groups drain.
+func TestPoolHealthGaugesCompose(t *testing.T) {
+	reg := obs.NewRegistry()
+	ctx := obs.WithMetrics(context.Background(), reg)
+	g1, _ := WithContext(ctx, 2)
+	g2, _ := WithContext(ctx, 2)
+	bothRunning := make(chan struct{}, 2)
+	release := make(chan struct{})
+	task := func(ctx context.Context) error {
+		bothRunning <- struct{}{}
+		<-release
+		return nil
+	}
+	g1.Go(task)
+	g2.Go(task)
+	<-bothRunning
+	<-bothRunning
+	if v := reg.Gauge("engine.active_workers").Value(); v != 2 {
+		t.Errorf("engine.active_workers = %v with two live groups, want 2", v)
+	}
+	close(release)
+	if err := g1.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if err := g2.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if v := reg.Gauge("engine.active_workers").Value(); v != 0 {
+		t.Errorf("engine.active_workers = %v after both Waits, want 0", v)
+	}
+	if v := reg.Gauge("engine.active_workers.peak").Value(); v < 2 {
+		t.Errorf("engine.active_workers.peak = %v, want ≥ 2", v)
+	}
+	if v := reg.Counter("engine.completed").Value(); v != 2 {
+		t.Errorf("engine.completed = %d, want 2", v)
+	}
 }
 
 func TestNilRegistryIsSafe(t *testing.T) {

@@ -55,6 +55,22 @@ func (g *Gauge) Set(v float64) {
 	}
 }
 
+// Add atomically adjusts the gauge by delta and returns the new value, so
+// several producers (e.g. concurrently live worker pools) can share one
+// gauge without clobbering each other's Set calls. Returns 0 on nil.
+func (g *Gauge) Add(delta float64) float64 {
+	if g == nil {
+		return 0
+	}
+	for {
+		old := g.bits.Load()
+		v := math.Float64frombits(old) + delta
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return v
+		}
+	}
+}
+
 // Max raises the gauge to v if v exceeds the stored value.
 func (g *Gauge) Max(v float64) {
 	if g == nil {

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 
 	"paqoc/internal/linalg"
 )
@@ -49,6 +51,62 @@ func (db *DB) Save(w io.Writer) error {
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(out)
+}
+
+// SaveFile writes the database to path crash-safely: the snapshot goes to
+// a temporary file in the same directory, is fsynced, and is renamed into
+// place, so an interrupted save (crash, SIGKILL, full disk) can never
+// corrupt an existing database — readers see either the old file or the
+// new one, never a truncated mix.
+func (db *DB) SaveFile(path string) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("pulse: saving DB: %v", err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err = db.Save(tmp); err != nil {
+		return err
+	}
+	if err = tmp.Sync(); err != nil {
+		return err
+	}
+	// CreateTemp opens 0600; match the permissions a plain create would use.
+	if err = tmp.Chmod(0o644); err != nil {
+		return err
+	}
+	if err = tmp.Close(); err != nil {
+		return err
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// LoadFile reads a database from path. A missing file is not an error: it
+// returns an empty database and ok=false, matching the cold-start flow
+// where the file appears after the first save.
+func LoadFile(path string) (db *DB, ok bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return NewDB(), false, nil
+		}
+		return nil, false, err
+	}
+	defer f.Close()
+	db, err = LoadDB(f)
+	if err != nil {
+		return nil, false, err
+	}
+	return db, true, nil
 }
 
 // LoadDB reads a database written by Save. Cache statistics start fresh;

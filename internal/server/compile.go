@@ -1,0 +1,213 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"paqoc/internal/bench"
+	"paqoc/internal/circuit"
+	"paqoc/internal/grape"
+	"paqoc/internal/obs"
+	"paqoc/internal/paqoc"
+	"paqoc/internal/pulse"
+	"paqoc/internal/qasm"
+	"paqoc/internal/route"
+	"paqoc/internal/transpile"
+)
+
+// Request is the POST /v1/compile body. Exactly one circuit source (qasm,
+// circuit, bench) must be set; the remaining knobs mirror the CLI's APA /
+// GRAPE / fidelity / deadline surface.
+type Request struct {
+	// QASM is OpenQASM 2.0 source.
+	QASM string `json:"qasm,omitempty"`
+	// Circuit is the native text circuit format (circuit.Parse).
+	Circuit string `json:"circuit,omitempty"`
+	// Bench names a built-in Table I benchmark.
+	Bench string `json:"bench,omitempty"`
+
+	// APA enables the frequent-subcircuit miner (paqoc(M=inf)); off
+	// compiles with customized gates only (paqoc(M=0)).
+	APA bool `json:"apa,omitempty"`
+	// Grape emits final pulses with the real optimizer against the
+	// server's shared warm pulse database; off uses the calibrated
+	// analytical model.
+	Grape bool `json:"grape,omitempty"`
+	// Fidelity is the per-gate target (default 0.999).
+	Fidelity float64 `json:"fidelity,omitempty"`
+	// TimeoutMs bounds the job's run time; 0 selects the server default.
+	// The deadline is threaded as a context deadline into the GRAPE and
+	// simulator hot loops, so an expired job releases its worker promptly.
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+	// Mode forces "sync" or "async"; "" / "auto" picks sync for circuits at
+	// or under the server's sync gate limit.
+	Mode string `json:"mode,omitempty"`
+	// MaxN caps customized-gate width (default 3).
+	MaxN int `json:"max_n,omitempty"`
+	// Workers is the intra-job pulse-generation pool width (default 1:
+	// cross-request parallelism comes from the server's own worker pool).
+	Workers int `json:"workers,omitempty"`
+	// IncludeSchedules attaches per-gate pulse schedules (ScheduleJSON) to
+	// the result. Off by default: schedules dominate response size.
+	IncludeSchedules bool `json:"include_schedules,omitempty"`
+}
+
+// parseSource validates the request and parses its circuit source.
+func parseSource(req *Request) (*circuit.Circuit, error) {
+	n := 0
+	for _, set := range []bool{req.QASM != "", req.Circuit != "", req.Bench != ""} {
+		if set {
+			n++
+		}
+	}
+	if n != 1 {
+		return nil, fmt.Errorf("exactly one of qasm, circuit, bench must be set")
+	}
+	switch {
+	case req.QASM != "":
+		return qasm.Parse(req.QASM)
+	case req.Circuit != "":
+		return circuit.Parse(req.Circuit)
+	default:
+		spec, ok := bench.ByName(req.Bench)
+		if !ok {
+			return nil, fmt.Errorf("unknown benchmark %q", req.Bench)
+		}
+		return spec.Build(), nil
+	}
+}
+
+// Result is a finished compilation: the latency/fidelity summary, the
+// per-customized-gate breakdown (with ScheduleJSON payloads on request),
+// and the job's request-scoped per-stage timing.
+type Result struct {
+	Qubits           int     `json:"qubits"`
+	LogicalGates     int     `json:"logical_gates"`
+	PhysicalGates    int     `json:"physical_gates"`
+	Swaps            int     `json:"swaps"`
+	Blocks           int     `json:"blocks"`
+	APAPatterns      int     `json:"apa_patterns,omitempty"`
+	LatencyDt        float64 `json:"latency_dt"`
+	InitialLatencyDt float64 `json:"initial_latency_dt"`
+	ReductionPct     float64 `json:"reduction_pct"`
+	ESP              float64 `json:"esp"`
+	CompileCostSec   float64 `json:"compile_cost_sec"`
+	OfflineCostSec   float64 `json:"offline_cost_sec,omitempty"`
+	WallMs           float64 `json:"wall_ms"`
+	// DBEntries is the shared pulse database size after this job — the
+	// warmth the next request inherits.
+	DBEntries int `json:"db_entries"`
+
+	Gates  []GateResult `json:"gates,omitempty"`
+	Stages []Stage      `json:"stages,omitempty"`
+}
+
+// GateResult is one customized gate of the output.
+type GateResult struct {
+	Gate      string          `json:"gate"`
+	Qubits    []int           `json:"qubits"`
+	APA       bool            `json:"apa,omitempty"`
+	LatencyDt float64         `json:"latency_dt"`
+	Fidelity  float64         `json:"fidelity"`
+	CacheHit  bool            `json:"cache_hit,omitempty"`
+	Schedule  *pulse.Schedule `json:"schedule,omitempty"`
+}
+
+// Stage is one aggregated span path from the job's request-scoped tracer.
+type Stage struct {
+	Stage string  `json:"stage"`
+	Count int     `json:"count"`
+	Ms    float64 `json:"ms"`
+}
+
+// compile runs the full pipeline for one job. The context carries the
+// job's deadline and the server's shared metrics registry plus a fresh
+// per-request tracer, whose per-stage summary lands in the result.
+func (s *Server) compile(ctx context.Context, j *Job) (*Result, error) {
+	tracer := obs.NewTracer()
+	o := &obs.Obs{Metrics: s.reg, Tracer: tracer}
+	ctx = o.Attach(ctx)
+	ctx, span := obs.StartSpan(ctx, "server.job")
+	span.SetAttr("job", j.ID)
+
+	req := j.req
+	logical := j.logical
+	_, routeSpan := obs.StartSpan(ctx, "server.route")
+	phys, routeRes, err := transpile.ToPhysical(logical, s.topo, route.DefaultOptions())
+	routeSpan.End()
+	if err != nil {
+		span.End()
+		return nil, err
+	}
+
+	cfg := paqoc.DefaultConfig()
+	cfg.ProbeCaseII = false
+	cfg.Workers = req.Workers
+	if req.MaxN > 0 {
+		cfg.MaxN = req.MaxN
+	}
+	if req.Fidelity > 0 {
+		cfg.FidelityTarget = req.Fidelity
+	}
+	if req.APA {
+		cfg.M = paqoc.MInf
+	}
+
+	var gen pulse.Generator
+	if req.Grape {
+		g := grape.NewGenerator(grape.DefaultOptions())
+		g.Topo = s.topo
+		g.DB = s.db // shared warm database: cross-request hits and dedups
+		gen = g
+	}
+	comp := paqoc.New(gen, s.topo, cfg)
+	res, err := comp.CompileCtx(ctx, phys)
+	span.End()
+	if err != nil {
+		return nil, err
+	}
+
+	out := &Result{
+		Qubits:           logical.NumQubits,
+		LogicalGates:     len(logical.Gates),
+		PhysicalGates:    len(phys.Gates),
+		Swaps:            routeRes.SwapCount,
+		Blocks:           res.NumBlocks,
+		APAPatterns:      len(res.APASelections),
+		LatencyDt:        res.Latency,
+		InitialLatencyDt: res.InitialLatency,
+		ESP:              res.ESP,
+		CompileCostSec:   res.CompileCost,
+		OfflineCostSec:   res.OfflineCost,
+		WallMs:           float64(res.WallTime) / float64(time.Millisecond),
+		DBEntries:        s.db.Len(),
+	}
+	if res.InitialLatency > 0 {
+		out.ReductionPct = 100 * (1 - res.Latency/res.InitialLatency)
+	}
+	for _, b := range res.Blocks.Blocks {
+		gr := GateResult{
+			Gate:   b.Custom().Describe(),
+			Qubits: b.Qubits,
+			APA:    b.APA,
+		}
+		if b.Gen != nil {
+			gr.LatencyDt = b.Gen.Latency
+			gr.Fidelity = b.Gen.Fidelity
+			gr.CacheHit = b.Gen.CacheHit
+			if req.IncludeSchedules {
+				gr.Schedule = b.Gen.Schedule
+			}
+		}
+		out.Gates = append(out.Gates, gr)
+	}
+	for _, st := range tracer.Summary() {
+		out.Stages = append(out.Stages, Stage{
+			Stage: st.Path,
+			Count: st.Count,
+			Ms:    float64(st.Total) / float64(time.Millisecond),
+		})
+	}
+	return out, nil
+}

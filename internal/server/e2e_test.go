@@ -1,0 +1,197 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"paqoc/internal/pulse"
+)
+
+// newHTTPServer serves an already-built Server over httptest without the
+// auto-shutdown cleanup of newTestServer (for tests that shut down
+// explicitly).
+func newHTTPServer(t *testing.T, s *Server) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// metricsSnapshot scrapes and decodes GET /metrics.
+func metricsSnapshot(t *testing.T, url string) (counters map[string]int64) {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	return snap.Counters
+}
+
+// TestE2ESyncCompile: a small circuit compiles synchronously through the
+// real pipeline (analytical generator) and reports a sane summary.
+func TestE2ESyncCompile(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, GridRows: 2, GridCols: 2})
+	code, out := postCompile(t, ts, Request{Circuit: "qubits 2\nh 0\ncx 0 1\ncx 0 1\nh 0\n"})
+	if code != http.StatusOK {
+		t.Fatalf("HTTP %d: %+v", code, out)
+	}
+	if out.State != StateDone || out.Result == nil {
+		t.Fatalf("status = %+v", out.Status)
+	}
+	r := out.Result
+	if r.Blocks < 1 || r.LatencyDt <= 0 || r.InitialLatencyDt < r.LatencyDt {
+		t.Errorf("implausible result: %+v", r)
+	}
+	if r.ESP <= 0 || r.ESP > 1 {
+		t.Errorf("ESP out of range: %v", r.ESP)
+	}
+	if len(r.Stages) == 0 {
+		t.Error("result carries no per-stage summary")
+	}
+	for _, g := range r.Gates {
+		if g.Schedule != nil {
+			t.Error("schedules attached without include_schedules")
+		}
+	}
+}
+
+// TestE2EConcurrentCompiles: many concurrent synchronous requests all
+// complete against the shared worker pool and pulse database.
+func TestE2EConcurrentCompiles(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 4, QueueDepth: 32, GridRows: 2, GridCols: 2})
+	circuits := []string{
+		"qubits 2\nh 0\ncx 0 1\n",
+		"qubits 3\nh 0\ncx 0 1\ncx 1 2\n",
+		"qubits 2\ncx 0 1\ncx 1 0\n",
+		"qubits 3\nx 0\ncx 0 2\nh 1\n",
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			code, out := postCompile(t, ts, Request{Circuit: circuits[i%len(circuits)], Mode: "sync"})
+			if code != http.StatusOK || out.State != StateDone {
+				errs <- out.Error
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Errorf("concurrent compile failed: %s", e)
+	}
+}
+
+// TestE2EWarmDBSecondRequest is the warm-cache smoke test: the same small
+// circuit compiled twice with real GRAPE must serve the second request
+// from the shared pulse database (grape.db_hits or pulse.db_dedups > 0)
+// and report the reuse as cache hits on the gates.
+func TestE2EWarmDBSecondRequest(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, GridRows: 1, GridCols: 2})
+	req := Request{Circuit: tinyCircuit, Grape: true, Mode: "sync", TimeoutMs: 120_000}
+
+	code, out := postCompile(t, ts, req)
+	if code != http.StatusOK {
+		t.Fatalf("first request: HTTP %d: %+v", code, out.Status)
+	}
+	if out.Result.DBEntries == 0 {
+		t.Fatal("first GRAPE compile stored nothing in the shared DB")
+	}
+
+	code, out = postCompile(t, ts, req)
+	if code != http.StatusOK {
+		t.Fatalf("second request: HTTP %d: %+v", code, out.Status)
+	}
+	counters := metricsSnapshot(t, ts.URL)
+	if counters["grape.db_hits"]+counters["pulse.db_dedups"] == 0 {
+		t.Fatalf("second request not served from the warm DB: grape.db_hits=%d pulse.db_dedups=%d",
+			counters["grape.db_hits"], counters["pulse.db_dedups"])
+	}
+	hit := false
+	for _, g := range out.Result.Gates {
+		hit = hit || g.CacheHit
+	}
+	if !hit {
+		t.Error("no gate of the second compile reported cache_hit")
+	}
+}
+
+// TestE2EDeadlineExceeded: a GRAPE job with a hopeless deadline fails with
+// 504/timed_out — and the worker it ran on is free to serve the next
+// request immediately.
+func TestE2EDeadlineExceeded(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, GridRows: 1, GridCols: 2})
+	code, out := postCompile(t, ts, Request{Circuit: tinyCircuit, Grape: true, Mode: "sync", TimeoutMs: 1})
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("hopeless deadline: HTTP %d (%+v), want 504", code, out.Status)
+	}
+	if out.State != StateFailed || !out.TimedOut {
+		t.Fatalf("status = %+v, want failed+timed_out", out.Status)
+	}
+
+	// The single worker must not be wedged: an analytical compile succeeds.
+	code, out = postCompile(t, ts, Request{Circuit: tinyCircuit, Mode: "sync"})
+	if code != http.StatusOK || out.State != StateDone {
+		t.Fatalf("worker wedged after timeout: HTTP %d, %+v", code, out.Status)
+	}
+}
+
+// TestE2EShutdownPersistsDB: graceful shutdown saves the warm database
+// crash-safely, and a new server starts warm from the file.
+func TestE2EShutdownPersistsDB(t *testing.T) {
+	dbPath := filepath.Join(t.TempDir(), "pulses.db")
+	cfg := Config{Workers: 2, GridRows: 1, GridCols: 2, DBPath: dbPath, Logf: quiet}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	ts := newHTTPServer(t, s)
+
+	code, out := postCompile(t, ts, Request{Circuit: tinyCircuit, Grape: true, Mode: "sync", TimeoutMs: 120_000})
+	if code != http.StatusOK {
+		t.Fatalf("compile: HTTP %d: %+v", code, out.Status)
+	}
+	entries := out.Result.DBEntries
+	if entries == 0 {
+		t.Fatal("nothing stored in the DB")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	re, ok, err := pulse.LoadFile(dbPath)
+	if err != nil || !ok {
+		t.Fatalf("reloading persisted DB: ok=%v err=%v", ok, err)
+	}
+	if re.Len() != entries {
+		t.Fatalf("persisted DB holds %d entries, want %d", re.Len(), entries)
+	}
+
+	// A second server starts warm from the file.
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.DB().Len() != entries {
+		t.Fatalf("restarted server loaded %d entries, want %d", s2.DB().Len(), entries)
+	}
+}

@@ -1,0 +1,194 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// maxBodyBytes bounds a compile request body (QASM sources are text; 8 MiB
+// is far beyond any benchmark in the suite).
+const maxBodyBytes = 8 << 20
+
+// Handler returns the service's HTTP API:
+//
+//	POST /v1/compile   compile a circuit (sync for small circuits, else 202 + job ID)
+//	GET  /v1/jobs/{id} job status and result
+//	GET  /healthz      liveness
+//	GET  /readyz       readiness (503 while draining)
+//	GET  /metrics      metrics registry snapshot (?format=text for a table)
+//	     /debug/pprof  the standard profiling endpoints
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/compile", s.handleCompile)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// compileResponse wraps a job status for compile responses; Poll is the
+// URL async clients follow.
+type compileResponse struct {
+	Status
+	Poll string `json:"poll,omitempty"`
+}
+
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	s.reg.Counter("server.requests").Inc()
+	var req Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err := dec.Decode(&req); err != nil {
+		s.badRequest(w, fmt.Errorf("decoding request: %v", err))
+		return
+	}
+	logical, err := parseSource(&req)
+	if err != nil {
+		s.badRequest(w, err)
+		return
+	}
+	sync, err := s.pickMode(&req, len(logical.Gates))
+	if err != nil {
+		s.badRequest(w, err)
+		return
+	}
+
+	j := s.jobs.add(&req, logical, s.jobTimeout(&req))
+	if err := s.Submit(j); err != nil {
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			w.Header().Set("Retry-After", fmt.Sprintf("%d", int(s.cfg.RetryAfter/time.Second)))
+			writeError(w, http.StatusTooManyRequests, err.Error())
+		case errors.Is(err, ErrDraining):
+			writeError(w, http.StatusServiceUnavailable, err.Error())
+		default:
+			writeError(w, http.StatusInternalServerError, err.Error())
+		}
+		return
+	}
+
+	if !sync {
+		s.reg.Counter("server.requests_async").Inc()
+		w.Header().Set("Location", "/v1/jobs/"+j.ID)
+		writeJSON(w, http.StatusAccepted, compileResponse{Status: j.status(), Poll: "/v1/jobs/" + j.ID})
+		return
+	}
+
+	s.reg.Counter("server.requests_sync").Inc()
+	select {
+	case <-j.done:
+	case <-r.Context().Done():
+		// Client gone; the job keeps running and stays pollable.
+		writeJSON(w, http.StatusAccepted, compileResponse{Status: j.status(), Poll: "/v1/jobs/" + j.ID})
+		return
+	}
+	st := j.status()
+	writeJSON(w, statusCodeFor(st), compileResponse{Status: st})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if !s.ready.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.reg.Snapshot()
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		snap.WriteText(w)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := snap.WriteJSON(w); err != nil {
+		s.cfg.Logf("metrics: %v", err)
+	}
+}
+
+// pickMode resolves the request's sync/async choice; auto selects sync for
+// circuits at or under the configured gate limit.
+func (s *Server) pickMode(req *Request, gates int) (sync bool, err error) {
+	switch req.Mode {
+	case "sync":
+		return true, nil
+	case "async":
+		return false, nil
+	case "", "auto":
+		return gates <= s.cfg.SyncGateLimit, nil
+	default:
+		return false, fmt.Errorf("bad mode %q (want sync, async, or auto)", req.Mode)
+	}
+}
+
+// jobTimeout resolves the job deadline: the client's request clamped to
+// the configured maximum, or the server default.
+func (s *Server) jobTimeout(req *Request) time.Duration {
+	if req.TimeoutMs <= 0 {
+		return s.cfg.DefaultTimeout
+	}
+	d := time.Duration(req.TimeoutMs) * time.Millisecond
+	if d > s.cfg.MaxTimeout {
+		return s.cfg.MaxTimeout
+	}
+	return d
+}
+
+// statusCodeFor maps a terminal job status onto the synchronous response
+// code: 200 done, 504 deadline exceeded, 503 cancelled by shutdown, 422
+// compilation failure.
+func statusCodeFor(st Status) int {
+	switch {
+	case st.State == StateDone:
+		return http.StatusOK
+	case st.TimedOut:
+		return http.StatusGatewayTimeout
+	case st.Canceled:
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusUnprocessableEntity
+	}
+}
+
+func (s *Server) badRequest(w http.ResponseWriter, err error) {
+	s.reg.Counter("server.bad_requests").Inc()
+	writeError(w, http.StatusBadRequest, err.Error())
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

@@ -1,0 +1,168 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"paqoc/internal/circuit"
+)
+
+// JobState is the lifecycle of a compilation job. Transitions are strictly
+// queued → running → {done, failed}; a failed job records whether the
+// failure was its deadline expiring (timeout) or the server draining
+// (canceled) so clients can map it onto 504/503 semantics.
+type JobState string
+
+const (
+	StateQueued  JobState = "queued"
+	StateRunning JobState = "running"
+	StateDone    JobState = "done"
+	StateFailed  JobState = "failed"
+)
+
+// Job is one compilation request moving through the bounded queue. The
+// request is parsed and validated before the job is created, so everything
+// past Submit works on well-formed input.
+type Job struct {
+	ID string
+
+	req     *Request
+	logical *circuit.Circuit
+	timeout time.Duration
+
+	mu        sync.Mutex
+	state     JobState
+	errMsg    string
+	timedOut  bool
+	canceled  bool
+	result    *Result
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+
+	// done is closed exactly once when the job reaches a terminal state;
+	// synchronous requests and pollers block on it.
+	done chan struct{}
+}
+
+func (j *Job) start() {
+	j.mu.Lock()
+	j.state = StateRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+}
+
+// finish moves the job to its terminal state and releases waiters.
+func (j *Job) finish(res *Result, err error, timedOut, canceled bool) {
+	j.mu.Lock()
+	j.finished = time.Now()
+	if err != nil {
+		j.state = StateFailed
+		j.errMsg = err.Error()
+		j.timedOut = timedOut
+		j.canceled = canceled
+	} else {
+		j.state = StateDone
+		j.result = res
+	}
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// Status is the wire representation of a job, served by GET /v1/jobs/{id}
+// and embedded in synchronous compile responses.
+type Status struct {
+	JobID    string   `json:"job_id"`
+	State    JobState `json:"status"`
+	Error    string   `json:"error,omitempty"`
+	TimedOut bool     `json:"timed_out,omitempty"`
+	Canceled bool     `json:"canceled,omitempty"`
+	QueuedMs float64  `json:"queued_ms"`
+	RunMs    float64  `json:"run_ms,omitempty"`
+	Result   *Result  `json:"result,omitempty"`
+}
+
+// status snapshots the job under its lock.
+func (j *Job) status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := Status{
+		JobID:    j.ID,
+		State:    j.state,
+		Error:    j.errMsg,
+		TimedOut: j.timedOut,
+		Canceled: j.canceled,
+		Result:   j.result,
+	}
+	switch j.state {
+	case StateQueued:
+		st.QueuedMs = msSince(j.submitted, time.Now())
+	case StateRunning:
+		st.QueuedMs = msSince(j.submitted, j.started)
+		st.RunMs = msSince(j.started, time.Now())
+	default:
+		st.QueuedMs = msSince(j.submitted, j.started)
+		st.RunMs = msSince(j.started, j.finished)
+	}
+	return st
+}
+
+func msSince(from, to time.Time) float64 {
+	if from.IsZero() {
+		return 0
+	}
+	return float64(to.Sub(from)) / float64(time.Millisecond)
+}
+
+// jobStore indexes jobs by ID and bounds memory: terminal jobs beyond the
+// retention cap are evicted oldest-first, so a long-running server does not
+// accumulate every result it ever produced.
+type jobStore struct {
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	retire []string // terminal job IDs, oldest first
+	seq    uint64
+	retain int
+}
+
+func newJobStore(retain int) *jobStore {
+	return &jobStore{jobs: make(map[string]*Job), retain: retain}
+}
+
+// add creates and registers a queued job for an already-parsed request.
+func (s *jobStore) add(req *Request, logical *circuit.Circuit, timeout time.Duration) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	j := &Job{
+		ID:        fmt.Sprintf("job-%06d", s.seq),
+		req:       req,
+		logical:   logical,
+		timeout:   timeout,
+		state:     StateQueued,
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+	}
+	s.jobs[j.ID] = j
+	return j
+}
+
+func (s *jobStore) get(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// retired records a terminal job for eviction and drops the oldest
+// terminal jobs beyond the retention cap.
+func (s *jobStore) retired(j *Job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.retire = append(s.retire, j.ID)
+	for len(s.retire) > s.retain {
+		delete(s.jobs, s.retire[0])
+		s.retire = s.retire[1:]
+	}
+}

@@ -1,0 +1,374 @@
+// Package server is the long-running pulse-compilation service: an HTTP
+// front end over the PAQOC pipeline with a bounded job queue, a pool of
+// compilation workers, and one shared race-safe pulse database that stays
+// warm across requests — PR 2's singleflight dedup and the §V-B pulse
+// reuse become cross-request wins instead of per-process ones.
+//
+// Robustness properties:
+//
+//   - Backpressure: the queue is bounded; a full queue rejects with
+//     ErrQueueFull, which the HTTP layer maps to 429 + Retry-After.
+//   - Deadlines: every job runs under a context deadline threaded into the
+//     ctx-aware GRAPE/pulsesim hot loops, so an expired job releases its
+//     worker instead of wedging it.
+//   - Panic isolation: a panicking compilation fails its own job only.
+//   - Graceful drain: Shutdown stops intake, lets queued and running jobs
+//     finish within a deadline (cancelling stragglers), then persists the
+//     pulse database crash-safely.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"paqoc/internal/obs"
+	"paqoc/internal/pulse"
+	"paqoc/internal/topology"
+)
+
+// Sentinel errors returned by Submit.
+var (
+	// ErrQueueFull: the bounded job queue is at capacity (HTTP 429).
+	ErrQueueFull = errors.New("server: job queue full")
+	// ErrDraining: the server is shutting down and refuses new work (503).
+	ErrDraining = errors.New("server: draining")
+)
+
+// Config sizes the service. Zero values select the documented defaults.
+type Config struct {
+	// Workers is the number of concurrent compilation jobs (default
+	// GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds jobs queued beyond the running ones (default 64).
+	// A full queue is backpressure: Submit fails fast with ErrQueueFull.
+	QueueDepth int
+	// SyncGateLimit is the auto-mode threshold: circuits with at most this
+	// many logical gates compile synchronously in the request (default 48).
+	SyncGateLimit int
+	// DefaultTimeout bounds jobs that do not request a deadline (default
+	// 120s); MaxTimeout caps client-requested deadlines (default 10m).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// DBPath is the pulse-database file: loaded at startup when present,
+	// snapshotted periodically and on shutdown. Empty disables persistence.
+	DBPath string
+	// SnapshotInterval is the warm-DB persistence cadence (default 5m when
+	// DBPath is set; negative disables periodic snapshots).
+	SnapshotInterval time.Duration
+	// GridRows/GridCols fix the device topology for every request (default
+	// 5×5). Server-level on purpose: pulse-DB schedules are keyed by
+	// unitary alone, so one device per database keeps reuse sound.
+	GridRows, GridCols int
+	// JobRetention is how many finished jobs stay queryable (default 512).
+	JobRetention int
+	// RetryAfter is the hint sent with 429 responses (default 1s).
+	RetryAfter time.Duration
+	// Logf receives service logs (default log.Printf; set to a no-op in
+	// tests).
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) fill() {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.SyncGateLimit <= 0 {
+		c.SyncGateLimit = 48
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 120 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 10 * time.Minute
+	}
+	if c.SnapshotInterval == 0 {
+		c.SnapshotInterval = 5 * time.Minute
+	}
+	if c.GridRows <= 0 {
+		c.GridRows = 5
+	}
+	if c.GridCols <= 0 {
+		c.GridCols = 5
+	}
+	if c.JobRetention <= 0 {
+		c.JobRetention = 512
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
+	}
+}
+
+// Server is the resident compilation service. Create with New, launch the
+// workers with Start, serve Handler over HTTP, and stop with Shutdown.
+type Server struct {
+	cfg  Config
+	topo *topology.Topology
+	db   *pulse.DB
+	reg  *obs.Registry
+	jobs *jobStore
+
+	queue chan *Job
+	qmu   sync.RWMutex // guards queue-send vs close, and draining
+	drain bool
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	workerWG   sync.WaitGroup
+	snapWG     sync.WaitGroup
+	snapStop   chan struct{}
+	started    atomic.Bool
+	ready      atomic.Bool
+
+	// compileFn runs one job; tests swap it to simulate slow, stuck, or
+	// panicking compilations deterministically.
+	compileFn func(ctx context.Context, j *Job) (*Result, error)
+}
+
+// New builds a server and loads the pulse database from cfg.DBPath (a
+// missing file starts cold). No goroutines run until Start.
+func New(cfg Config) (*Server, error) {
+	cfg.fill()
+	db := pulse.NewDB()
+	if cfg.DBPath != "" {
+		loaded, ok, err := pulse.LoadFile(cfg.DBPath)
+		if err != nil {
+			return nil, fmt.Errorf("server: loading pulse DB: %v", err)
+		}
+		db = loaded
+		if ok {
+			cfg.Logf("pulse DB: loaded %d entries from %s", db.Len(), cfg.DBPath)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		topo:       topology.Grid(cfg.GridRows, cfg.GridCols),
+		db:         db,
+		reg:        obs.NewRegistry(),
+		jobs:       newJobStore(cfg.JobRetention),
+		queue:      make(chan *Job, cfg.QueueDepth),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		snapStop:   make(chan struct{}),
+	}
+	s.compileFn = s.compile
+	preregisterMetrics(s.reg)
+	s.reg.Gauge("server.queue_capacity").Set(float64(cfg.QueueDepth))
+	s.reg.Gauge("server.workers").Set(float64(cfg.Workers))
+	return s, nil
+}
+
+// Registry exposes the shared metrics registry (served by GET /metrics).
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// DB exposes the shared pulse database.
+func (s *Server) DB() *pulse.DB { return s.db }
+
+// Start launches the worker pool and the periodic DB snapshotter, then
+// marks the server ready.
+func (s *Server) Start() {
+	if !s.started.CompareAndSwap(false, true) {
+		return
+	}
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.workerWG.Add(1)
+		go s.worker()
+	}
+	if s.cfg.DBPath != "" && s.cfg.SnapshotInterval > 0 {
+		s.snapWG.Add(1)
+		go s.snapshotter()
+	}
+	s.ready.Store(true)
+}
+
+// Submit enqueues a job, failing fast when the server is draining or the
+// queue is full — the caller translates those into 503 and 429.
+func (s *Server) Submit(j *Job) error {
+	s.qmu.RLock()
+	defer s.qmu.RUnlock()
+	if s.drain {
+		return ErrDraining
+	}
+	select {
+	case s.queue <- j:
+		s.reg.Gauge("server.queue_len").Add(1)
+		return nil
+	default:
+		s.reg.Counter("server.rejected_queue_full").Inc()
+		return ErrQueueFull
+	}
+}
+
+// worker consumes jobs until the queue is closed and drained.
+func (s *Server) worker() {
+	defer s.workerWG.Done()
+	for j := range s.queue {
+		s.reg.Gauge("server.queue_len").Add(-1)
+		s.runJob(j)
+	}
+}
+
+// runJob executes one job under its deadline with panic isolation.
+func (s *Server) runJob(j *Job) {
+	running := s.reg.Gauge("server.jobs_running")
+	running.Add(1)
+	defer running.Add(-1)
+
+	ctx, cancel := context.WithTimeout(s.baseCtx, j.timeout)
+	defer cancel()
+	j.start()
+	res, err := s.safeCompile(ctx, j)
+
+	timedOut := err != nil && errors.Is(ctx.Err(), context.DeadlineExceeded)
+	canceled := err != nil && !timedOut && errors.Is(ctx.Err(), context.Canceled)
+	switch {
+	case err == nil:
+		s.reg.Counter("server.jobs_completed").Inc()
+	case timedOut:
+		s.reg.Counter("server.jobs_timeout").Inc()
+	default:
+		s.reg.Counter("server.jobs_failed").Inc()
+	}
+	if err != nil {
+		s.cfg.Logf("job %s failed (timeout=%v): %v", j.ID, timedOut, err)
+	}
+	j.finish(res, err, timedOut, canceled)
+	s.jobs.retired(j)
+}
+
+// safeCompile isolates panics: one bad circuit must not take down the
+// process, only its own job.
+func (s *Server) safeCompile(ctx context.Context, j *Job) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.reg.Counter("server.jobs_panicked").Inc()
+			err = fmt.Errorf("server: job %s panicked: %v\n%s", j.ID, r, debug.Stack())
+			res = nil
+		}
+	}()
+	return s.compileFn(ctx, j)
+}
+
+// snapshotter persists the warm pulse database on a timer so a crash loses
+// at most one interval of generated pulses.
+func (s *Server) snapshotter() {
+	defer s.snapWG.Done()
+	tick := time.NewTicker(s.cfg.SnapshotInterval)
+	defer tick.Stop()
+	lastSaved := s.db.Len()
+	for {
+		select {
+		case <-tick.C:
+			if n := s.db.Len(); n != lastSaved {
+				if err := s.saveDB(); err != nil {
+					s.cfg.Logf("pulse DB snapshot: %v", err)
+					continue
+				}
+				lastSaved = n
+			}
+		case <-s.snapStop:
+			return
+		}
+	}
+}
+
+// saveDB persists the shared database crash-safely (temp file + rename).
+func (s *Server) saveDB() error {
+	if s.cfg.DBPath == "" {
+		return nil
+	}
+	if err := s.db.SaveFile(s.cfg.DBPath); err != nil {
+		return err
+	}
+	s.reg.Counter("server.db_snapshots").Inc()
+	s.cfg.Logf("pulse DB: saved %d entries to %s", s.db.Len(), s.cfg.DBPath)
+	return nil
+}
+
+// Shutdown drains the server: intake stops immediately (readyz flips to
+// 503, Submit returns ErrDraining), queued and running jobs get until
+// ctx's deadline to finish, stragglers are cancelled through their job
+// contexts, and the pulse database is persisted before returning. The
+// returned error reports a missed drain deadline or a failed final save.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.qmu.Lock()
+	if s.drain {
+		s.qmu.Unlock()
+		return nil
+	}
+	s.drain = true
+	close(s.queue) // workers finish the backlog, then exit
+	s.qmu.Unlock()
+	s.ready.Store(false)
+
+	if s.started.Load() {
+		close(s.snapStop)
+		s.snapWG.Wait()
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.workerWG.Wait()
+		close(done)
+	}()
+	var drainErr error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		drainErr = fmt.Errorf("server: drain deadline exceeded, cancelling in-flight jobs")
+		s.baseCancel() // jobs are ctx-aware and exit promptly
+		<-done
+	}
+	s.baseCancel()
+
+	if err := s.saveDB(); err != nil {
+		if drainErr != nil {
+			return fmt.Errorf("%v; final save: %v", drainErr, err)
+		}
+		return fmt.Errorf("server: final save: %v", err)
+	}
+	return drainErr
+}
+
+// preregisterMetrics creates the canonical instrument set up front so
+// GET /metrics always serves a stable schema, zero-valued until touched.
+func preregisterMetrics(r *obs.Registry) {
+	for _, name := range []string{
+		"server.requests", "server.requests_sync", "server.requests_async",
+		"server.rejected_queue_full", "server.bad_requests",
+		"server.jobs_completed", "server.jobs_failed", "server.jobs_timeout",
+		"server.jobs_panicked", "server.db_snapshots",
+		"paqoc.merge.rounds", "paqoc.merge.candidates", "paqoc.merge.cache_hits",
+		"paqoc.merge.applied", "paqoc.merge.rejected", "paqoc.merge.preprocessed",
+		"paqoc.emit.blocks",
+		"grape.iterations", "grape.binsearch.probes", "grape.generated",
+		"grape.db_hits", "grape.db_permuted_hits", "grape.warm_starts", "grape.expm",
+		"pulsesim.slices", "pulsesim.expm", "pulsesim.esp_evals", "pulsesim.esp_gates",
+		"mining.subcircuits_enumerated", "mining.pruned_qubit_cap", "mining.patterns",
+		"latency.model.probes", "latency.model.db_hits",
+		"engine.tasks", "engine.completed", "pulse.db_dedups",
+	} {
+		r.Counter(name)
+	}
+	for _, name := range []string{
+		"server.queue_len", "server.queue_capacity", "server.workers",
+		"server.jobs_running",
+		"engine.inflight", "engine.active_workers", "engine.active_workers.peak",
+		"engine.queued", "engine.queued.peak",
+	} {
+		r.Gauge(name)
+	}
+}
