@@ -9,8 +9,10 @@
 //	paqoc-server -addr :8080 -db pulses.db
 //
 // Endpoints: POST /v1/compile, GET /v1/jobs/{id}, GET /healthz,
-// GET /readyz, GET /metrics, and /debug/pprof. See the README's "Running
-// the service" section for curl examples.
+// GET /readyz, and GET /metrics. The unauthenticated /debug/pprof
+// endpoints are not on the API mux; -pprof <addr> serves them on a
+// separate (loopback) listener. See the README's "Running the service"
+// section for curl examples.
 //
 // On SIGTERM or SIGINT the server stops accepting work (readyz flips to
 // 503 so load balancers drain it), finishes queued and in-flight jobs
@@ -54,6 +56,7 @@ func run() error {
 		drain     = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline")
 		rows      = flag.Int("rows", 5, "device grid rows")
 		cols      = flag.Int("cols", 5, "device grid cols")
+		pprofAddr = flag.String("pprof", "", "serve /debug/pprof on this separate address (e.g. localhost:6060); empty disables")
 	)
 	flag.Parse()
 
@@ -72,6 +75,19 @@ func run() error {
 		return err
 	}
 	srv.Start()
+
+	// pprof lives on its own listener, never the API address: the
+	// profiling endpoints are unauthenticated, and -addr may be public.
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof: %v", err)
+		}
+		pprofSrv := &http.Server{Handler: server.PprofHandler()}
+		go func() { _ = pprofSrv.Serve(pln) }()
+		defer pprofSrv.Close()
+		log.Printf("pprof: serving on http://%s/debug/pprof/", pln.Addr())
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

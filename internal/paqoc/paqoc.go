@@ -260,7 +260,8 @@ func (cp *Compiler) CompileCtx(ctx context.Context, phys *circuit.Circuit) (*Res
 	emit := func(ctx context.Context, b *critical.Block) error {
 		gen, err := cp.Gen.GenerateCtx(ctx, b.Custom(), cp.Cfg.FidelityTarget)
 		if err != nil {
-			return fmt.Errorf("paqoc: generating pulses for %s: %v", b.Custom().Describe(), err)
+			// %w: callers classify deadline/cancel from the error chain.
+			return fmt.Errorf("paqoc: generating pulses for %s: %w", b.Custom().Describe(), err)
 		}
 		emitted.Inc()
 		b.Gen = gen

@@ -87,6 +87,14 @@ func (db *DB) SaveFile(path string) (err error) {
 		os.Remove(tmp.Name())
 		return err
 	}
+	// Make the rename itself durable: without an fsync of the parent
+	// directory, a crash shortly after a snapshot can resurrect the
+	// previous file. Best-effort — not every platform supports syncing a
+	// directory, and the file contents above are already fsynced.
+	if d, derr := os.Open(dir); derr == nil {
+		_ = d.Sync()
+		d.Close()
+	}
 	return nil
 }
 

@@ -143,7 +143,7 @@ func (s *Server) compile(ctx context.Context, j *Job) (*Result, error) {
 
 	cfg := paqoc.DefaultConfig()
 	cfg.ProbeCaseII = false
-	cfg.Workers = req.Workers
+	cfg.Workers = s.jobWorkers(req)
 	if req.MaxN > 0 {
 		cfg.MaxN = req.MaxN
 	}

@@ -20,7 +20,7 @@ const maxBodyBytes = 8 << 20
 //	GET  /healthz      liveness
 //	GET  /readyz       readiness (503 while draining)
 //	GET  /metrics      metrics registry snapshot (?format=text for a table)
-//	     /debug/pprof  the standard profiling endpoints
+//	     /debug/pprof  the standard profiling endpoints (Config.EnablePprof)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/compile", s.handleCompile)
@@ -28,6 +28,19 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.cfg.EnablePprof {
+		mux.Handle("/debug/pprof/", PprofHandler())
+	}
+	return mux
+}
+
+// PprofHandler returns the standard net/http/pprof endpoints rooted at
+// /debug/pprof/. They are unauthenticated and can trigger CPU-profile
+// load, so Handler mounts them only when Config.EnablePprof is set;
+// cmd/paqoc-server instead serves them on a separate loopback-only
+// listener via its -pprof flag.
+func PprofHandler() http.Handler {
+	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -64,6 +77,10 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 
 	j := s.jobs.add(&req, logical, s.jobTimeout(&req))
 	if err := s.Submit(j); err != nil {
+		// The job never entered the queue: drop it from the store now, or
+		// its request body and circuit would be retained forever (no
+		// terminal state means retention-based eviction never fires).
+		s.jobs.remove(j.ID)
 		switch {
 		case errors.Is(err, ErrQueueFull):
 			w.Header().Set("Retry-After", fmt.Sprintf("%d", int(s.cfg.RetryAfter/time.Second)))
@@ -158,6 +175,17 @@ func (s *Server) jobTimeout(req *Request) time.Duration {
 		return s.cfg.MaxTimeout
 	}
 	return d
+}
+
+// jobWorkers resolves the job's intra-job pulse-generation pool width:
+// the client's request clamped to the configured maximum, mirroring how
+// jobTimeout clamps deadlines — a request cannot demand an arbitrarily
+// wide engine pool on top of the server's own worker pool.
+func (s *Server) jobWorkers(req *Request) int {
+	if req.Workers > s.cfg.MaxJobWorkers {
+		return s.cfg.MaxJobWorkers
+	}
+	return req.Workers
 }
 
 // statusCodeFor maps a terminal job status onto the synchronous response

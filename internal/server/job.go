@@ -155,6 +155,16 @@ func (s *jobStore) get(id string) (*Job, bool) {
 	return j, ok
 }
 
+// remove deletes a job that never entered the queue (Submit failed).
+// Such a job never reaches a terminal state, so retention-based eviction
+// would never reclaim its request body and parsed circuit — under
+// sustained overload that leak would defeat the bounded-memory design.
+func (s *jobStore) remove(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.jobs, id)
+}
+
 // retired records a terminal job for eviction and drops the oldest
 // terminal jobs beyond the retention cap.
 func (s *jobStore) retired(j *Job) {

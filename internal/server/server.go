@@ -56,6 +56,16 @@ type Config struct {
 	// 120s); MaxTimeout caps client-requested deadlines (default 10m).
 	DefaultTimeout time.Duration
 	MaxTimeout     time.Duration
+	// MaxJobWorkers caps the client-requested intra-job pulse-generation
+	// pool width (the request's "workers" field; default GOMAXPROCS) —
+	// without a cap one request could demand an arbitrarily wide engine
+	// pool multiplied across the server's own workers.
+	MaxJobWorkers int
+	// EnablePprof mounts /debug/pprof on the public API mux. Off by
+	// default: the profiling endpoints are unauthenticated, so they belong
+	// on a loopback-only listener (cmd/paqoc-server's -pprof flag) unless
+	// the API address itself is private.
+	EnablePprof bool
 	// DBPath is the pulse-database file: loaded at startup when present,
 	// snapshotted periodically and on shutdown. Empty disables persistence.
 	DBPath string
@@ -90,6 +100,9 @@ func (c *Config) fill() {
 	}
 	if c.MaxTimeout <= 0 {
 		c.MaxTimeout = 10 * time.Minute
+	}
+	if c.MaxJobWorkers <= 0 {
+		c.MaxJobWorkers = runtime.GOMAXPROCS(0)
 	}
 	if c.SnapshotInterval == 0 {
 		c.SnapshotInterval = 5 * time.Minute
@@ -232,8 +245,12 @@ func (s *Server) runJob(j *Job) {
 	j.start()
 	res, err := s.safeCompile(ctx, j)
 
-	timedOut := err != nil && errors.Is(ctx.Err(), context.DeadlineExceeded)
-	canceled := err != nil && !timedOut && errors.Is(ctx.Err(), context.Canceled)
+	// Classify from the returned error chain, not ctx.Err(): the pipeline
+	// propagates context errors (bare or %w-wrapped), and a genuine
+	// compilation failure that returns just as the deadline expires must
+	// surface as a failure (422), not be misread as a timeout or drain.
+	timedOut := errors.Is(err, context.DeadlineExceeded)
+	canceled := !timedOut && errors.Is(err, context.Canceled)
 	switch {
 	case err == nil:
 		s.reg.Counter("server.jobs_completed").Inc()

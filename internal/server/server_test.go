@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -115,6 +116,14 @@ func TestQueueFullBackpressure(t *testing.T) {
 	}
 	if v := s.reg.Counter("server.rejected_queue_full").Value(); v != 1 {
 		t.Errorf("server.rejected_queue_full = %d, want 1", v)
+	}
+	// The rejected job must not linger in the store: it never reaches a
+	// terminal state, so leaving it would leak its request forever.
+	s.jobs.mu.Lock()
+	stored := len(s.jobs.jobs)
+	s.jobs.mu.Unlock()
+	if stored != 2 {
+		t.Errorf("job store holds %d jobs after the 429, want 2 (rejected job leaked)", stored)
 	}
 	close(release)
 }
@@ -361,6 +370,40 @@ func TestJobTimeoutClamp(t *testing.T) {
 	}
 }
 
+// TestJobWorkersClamp: the client's intra-job pool width is clamped to
+// the configured maximum, like deadlines — no client-controlled
+// resource amplification.
+func TestJobWorkersClamp(t *testing.T) {
+	s, _ := newTestServer(t, Config{Workers: 1, MaxJobWorkers: 4})
+	if n := s.jobWorkers(&Request{}); n != 0 {
+		t.Errorf("default workers = %d, want 0 (pipeline default)", n)
+	}
+	if n := s.jobWorkers(&Request{Workers: 3}); n != 3 {
+		t.Errorf("requested workers = %d, want 3", n)
+	}
+	if n := s.jobWorkers(&Request{Workers: 10000}); n != 4 {
+		t.Errorf("clamped workers = %d, want 4", n)
+	}
+}
+
+// TestFailureAtDeadlineIsFailure: a genuine compilation failure that
+// returns only after the job deadline expired is classified from its own
+// error chain — a 422 failure, not a 504 timeout.
+func TestFailureAtDeadlineIsFailure(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	s.compileFn = func(ctx context.Context, j *Job) (*Result, error) {
+		<-ctx.Done() // let the deadline fire first
+		return nil, errors.New("fidelity below target at max duration")
+	}
+	code, out := postCompile(t, ts, Request{Circuit: tinyCircuit, Mode: "sync", TimeoutMs: 5})
+	if code != http.StatusUnprocessableEntity {
+		t.Fatalf("failure at deadline: HTTP %d (%+v), want 422", code, out.Status)
+	}
+	if out.State != StateFailed || out.TimedOut || out.Canceled {
+		t.Fatalf("status = %+v, want plain failure", out.Status)
+	}
+}
+
 // TestMetricsEndpoint: both formats serve, and preregistered names are
 // present so the schema is stable from the first scrape.
 func TestMetricsEndpoint(t *testing.T) {
@@ -402,15 +445,23 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 }
 
-// TestPprofServes: the profiling index is wired into the service mux.
-func TestPprofServes(t *testing.T) {
-	_, ts := newTestServer(t, Config{Workers: 1})
-	resp, err := http.Get(ts.URL + "/debug/pprof/")
-	if err != nil {
-		t.Fatal(err)
+// TestPprofGated: the unauthenticated profiling endpoints are off the
+// public mux by default and mount only with EnablePprof.
+func TestPprofGated(t *testing.T) {
+	get := func(ts *httptest.Server) int {
+		resp, err := http.Get(ts.URL + "/debug/pprof/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
 	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("pprof index: HTTP %d", resp.StatusCode)
+	_, off := newTestServer(t, Config{Workers: 1})
+	if code := get(off); code != http.StatusNotFound {
+		t.Fatalf("pprof on default mux: HTTP %d, want 404", code)
+	}
+	_, on := newTestServer(t, Config{Workers: 1, EnablePprof: true})
+	if code := get(on); code != http.StatusOK {
+		t.Fatalf("pprof with EnablePprof: HTTP %d, want 200", code)
 	}
 }
