@@ -4,7 +4,7 @@
 // Usage:
 //
 //	paqoc-bench -list
-//	paqoc-bench fig2|fig6|fig10|fig11|fig12|fig13|fig14|table1|table2|table3|all
+//	paqoc-bench fig2|fig6|fig10|fig11|fig12|fig13|fig14|table1|table2|table3|kernels|pulsedb|all
 //
 // The -benches flag restricts the Fig. 10–12/14 sweeps to a comma-separated
 // subset (the full 17-benchmark sweep takes a couple of minutes, dominated
@@ -42,7 +42,7 @@ func main() {
 	flag.Parse()
 
 	if *list {
-		fmt.Println("experiments: fig2 fig6 fig10 fig11 fig12 fig13 fig14 table1 table2 table2noisy table2full table3 ablate kernels all")
+		fmt.Println("experiments: fig2 fig6 fig10 fig11 fig12 fig13 fig14 table1 table2 table2noisy table2full table3 ablate kernels pulsedb all")
 		fmt.Println("benchmarks:")
 		for _, s := range bench.All() {
 			fmt.Printf("  %-16s %s (%d qubits)\n", s.Name, s.Description, s.Qubits)
@@ -69,6 +69,7 @@ func main() {
 	// same for the kernels experiment (its own schema).
 	var jsonRows []experiments.BenchRow
 	var kernelRecs []experiments.KernelRecord
+	var pulseDBRecs []experiments.PulseDBRecord
 
 	var run func(string)
 	run = func(name string) {
@@ -134,6 +135,9 @@ func main() {
 		case "kernels":
 			kernelRecs = experiments.Kernels()
 			experiments.PrintKernels(out, kernelRecs)
+		case "pulsedb":
+			pulseDBRecs = experiments.PulseDB()
+			experiments.PrintPulseDB(out, pulseDBRecs)
 		case "all":
 			for _, n := range []string{"table1", "fig2", "fig6"} {
 				run(n)
@@ -168,16 +172,40 @@ func main() {
 			if err := writeKernelJSON(*jsonOut, kernelRecs); err != nil {
 				fatal(err)
 			}
+		case pulseDBRecs != nil:
+			if err := writePulseDBJSON(*jsonOut, pulseDBRecs); err != nil {
+				fatal(err)
+			}
 		case jsonRows != nil:
 			if err := writeBenchJSON(*jsonOut, jsonRows, p.Obs); err != nil {
 				fatal(err)
 			}
 		default:
-			fmt.Fprintf(os.Stderr, "paqoc-bench: -json applies to sweep experiments (fig10/fig11/fig12/all) and kernels; nothing to write for %q\n", flag.Arg(0))
+			fmt.Fprintf(os.Stderr, "paqoc-bench: -json applies to sweep experiments (fig10/fig11/fig12/all), kernels, and pulsedb; nothing to write for %q\n", flag.Arg(0))
 			return
 		}
 		fmt.Printf("results written to %s\n", *jsonOut)
 	}
+}
+
+// writePulseDBJSON emits the sharded pulse-store benchmark records (the
+// BENCH_005.json artifact).
+func writePulseDBJSON(path string, recs []experiments.PulseDBRecord) error {
+	doc := struct {
+		Schema  string                      `json:"schema"`
+		Results []experiments.PulseDBRecord `json:"results"`
+	}{Schema: "paqoc-bench/pulsedb/v1", Results: recs}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	werr := enc.Encode(doc)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
 }
 
 // writeKernelJSON emits the destination-passing kernel benchmark records

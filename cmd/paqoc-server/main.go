@@ -47,6 +47,7 @@ func run() error {
 	var (
 		addr      = flag.String("addr", "localhost:8080", "listen address")
 		dbPath    = flag.String("db", "", "pulse-database file: loaded at startup, snapshotted periodically and on shutdown")
+		dbMax     = flag.Int("db-max-entries", 0, "bound the warm pulse DB to this many entries, evicting cold ones (0 = unbounded)")
 		workers   = flag.Int("workers", 0, "concurrent compilation jobs (default GOMAXPROCS)")
 		queue     = flag.Int("queue", 64, "bounded job-queue depth; a full queue returns 429")
 		syncGates = flag.Int("sync-gates", 48, "auto-mode sync threshold in logical gates")
@@ -67,6 +68,7 @@ func run() error {
 		DefaultTimeout:   *timeout,
 		MaxTimeout:       *maxTO,
 		DBPath:           *dbPath,
+		DBMaxEntries:     *dbMax,
 		SnapshotInterval: *snapshot,
 		GridRows:         *rows,
 		GridCols:         *cols,

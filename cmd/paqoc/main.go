@@ -168,6 +168,14 @@ func run() error {
 		gen = grapeGen
 	}
 	comp := paqoc.New(gen, topo, cfg)
+	if o != nil && o.Metrics != nil {
+		// The pulse DB emits its own counters (nearest scan/prune split,
+		// evictions) alongside the pipeline's. New defaults gen to the
+		// analytical model, so wire whichever DB actually serves compiles.
+		if p, ok := comp.Gen.(pulse.DBProvider); ok {
+			p.PulseDB().SetMetrics(o.Metrics)
+		}
+	}
 	res, err := comp.CompileCtx(ctx, phys)
 	if err != nil {
 		return err
@@ -260,6 +268,8 @@ func preregisterMetrics(r *obs.Registry) {
 		"mining.subcircuits_enumerated", "mining.pruned_qubit_cap", "mining.patterns",
 		"latency.model.probes", "latency.model.db_hits",
 		"engine.tasks", "engine.completed", "pulse.db_dedups",
+		"pulse.nearest_scanned", "pulse.nearest_pruned",
+		"pulse.evictions", "pulse.save_skipped_nonfinite",
 	} {
 		r.Counter(name)
 	}

@@ -36,7 +36,11 @@ func NewGenerator(opts Options) *Generator {
 var (
 	_ pulse.Generator       = (*Generator)(nil)
 	_ pulse.LegacyGenerator = (*Generator)(nil)
+	_ pulse.DBProvider      = (*Generator)(nil)
 )
+
+// PulseDB exposes the backing pulse database (may be nil).
+func (g *Generator) PulseDB() *pulse.DB { return g.DB }
 
 // Generate produces pulses for one customized gate.
 //

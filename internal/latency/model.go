@@ -53,7 +53,11 @@ func NewModel() *Model {
 var (
 	_ pulse.Generator       = (*Model)(nil)
 	_ pulse.LegacyGenerator = (*Model)(nil)
+	_ pulse.DBProvider      = (*Model)(nil)
 )
+
+// PulseDB exposes the backing pulse database (may be nil).
+func (m *Model) PulseDB() *pulse.DB { return m.DB }
 
 // Generate estimates the pulse for a customized gate without running QOC.
 //

@@ -257,11 +257,24 @@ func (cp *Compiler) CompileCtx(ctx context.Context, phys *circuit.Circuit) (*Res
 	ectx, emitSpan := obs.StartSpan(ctx, "paqoc.emit")
 	emitted := obs.MetricsFrom(ctx).Counter("paqoc.emit.blocks")
 	emitSpan.SetAttr("workers", cp.workers())
+	// APA-basis pulses are the offline investment of §V-C: when the
+	// generator shares a capacity-bounded pulse DB (a long-running
+	// server), protect their entries so ranked eviction drops cold online
+	// pulses first.
+	var pulseDB *pulse.DB
+	if p, ok := cp.Gen.(pulse.DBProvider); ok {
+		pulseDB = p.PulseDB()
+	}
 	emit := func(ctx context.Context, b *critical.Block) error {
 		gen, err := cp.Gen.GenerateCtx(ctx, b.Custom(), cp.Cfg.FidelityTarget)
 		if err != nil {
 			// %w: callers classify deadline/cancel from the error chain.
 			return fmt.Errorf("paqoc: generating pulses for %s: %w", b.Custom().Describe(), err)
+		}
+		if b.APA && pulseDB != nil {
+			if u, uerr := b.Custom().Unitary(); uerr == nil {
+				pulseDB.Protect(u)
+			}
 		}
 		emitted.Inc()
 		b.Gen = gen

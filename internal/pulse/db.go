@@ -2,10 +2,12 @@ package pulse
 
 import (
 	"fmt"
+	"hash/maphash"
 	"sync"
 	"sync/atomic"
 
 	"paqoc/internal/linalg"
+	"paqoc/internal/obs"
 	"paqoc/internal/quantum"
 )
 
@@ -14,30 +16,69 @@ import (
 // same gate with permuted qubits, and a similarity search supplies a warm
 // initial guess to GRAPE for near-miss unitaries (as in AccQOC).
 //
-// A DB is safe for concurrent use: the maps are RWMutex-guarded, the
-// hit/miss counters are atomic, and Do deduplicates concurrent generation
-// of the same canonical unitary singleflight-style — N workers hitting the
-// same customized gate trigger exactly one generator run while the rest
-// block on the result (permuted-key in-flight generations included).
+// A DB is safe for concurrent use and built to be shared by a whole
+// compile fleet (engine workers, paqoc-server requests):
+//
+//   - Entries and in-flight generations are sharded by canonical-key hash
+//     across power-of-two shards, each behind its own RWMutex, so
+//     concurrent workers do not contend on one lock.
+//   - Do deduplicates concurrent generation of the same canonical unitary
+//     singleflight-style — N workers hitting the same customized gate
+//     trigger exactly one generator run while the rest block on the result
+//     (permuted-key in-flight generations included).
+//   - Nearest runs against a per-dimension similarity index (see index.go)
+//     that prunes most candidates before the O(dim²) distance.
+//   - An optional capacity bound evicts cold entries so a long-running
+//     server's memory stays bounded (see evict.go).
+//   - Snapshots are copy-on-snapshot: Save clones the entry list under the
+//     per-shard locks and encodes outside any lock, so a slow disk never
+//     stalls Store/Do (see persist.go).
 type DB struct {
 	// DetectPermutations enables the §V-B permuted-qubit lookup — a PAQOC
 	// feature the AccQOC baseline does not have. Set it before sharing the
 	// DB across goroutines.
 	DetectPermutations bool
 
-	mu      sync.RWMutex
-	entries map[string]*Entry
-	byDim   map[int][]*Entry
-	flights map[string]*flight
+	shards [numShards]shard
 
-	hits   atomic.Int64
-	misses atomic.Int64
-	dedups atomic.Int64
+	// dims maps matrix dimension → *dimIndex (the Nearest similarity
+	// index). sync.Map: a handful of keys, read-mostly.
+	dims sync.Map
+
+	// count is the live entry total, maintained by Store/eviction so Len
+	// and the capacity check never need a full-DB lock sweep.
+	count atomic.Int64
+
+	// maxEntries is the optional capacity bound (0 = unbounded).
+	maxEntries atomic.Int64
+	evictMu    sync.Mutex
+
+	// metrics optionally receives pulse.* counters (nearest_scanned,
+	// nearest_pruned, evictions, save_skipped_nonfinite). Nil-safe.
+	metrics atomic.Pointer[obs.Registry]
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	dedups    atomic.Int64
+	evictions atomic.Int64
 
 	// onWait, when non-nil, runs each time a caller joins an in-flight
 	// generation, just before blocking on it. Test-only synchronization
 	// seam; set it before sharing the DB across goroutines.
 	onWait func()
+}
+
+// numShards spreads lock contention across independent key ranges. Power
+// of two so the hash maps to a shard with a mask; 32 comfortably exceeds
+// any worker-pool width this repo configures.
+const numShards = 32
+
+// shard is one lock domain: a slice of the entry map plus the in-flight
+// generations whose canonical keys hash here.
+type shard struct {
+	mu      sync.RWMutex
+	entries map[string]*Entry
+	flights map[string]*flight
 }
 
 // flight is one in-progress generation; waiters block on done.
@@ -46,29 +87,67 @@ type flight struct {
 	err  error
 }
 
-// Entry is one stored pulse. Entries are immutable once stored.
+// Entry is one stored pulse. Entries are immutable once stored, except
+// for the eviction-ranking state (hit count, protection flag).
 type Entry struct {
 	Key       string
 	U         *linalg.Matrix
 	Generated *Generated
+
+	// norm2 caches ‖U‖²_F for the one-pass phase-invariant distance.
+	norm2 float64
+	// protected marks APA-basis (and other precious) entries: the ranked
+	// eviction removes them only when nothing unprotected remains.
+	protected atomic.Bool
+	// uses counts how often this entry served a lookup, dedup, or warm
+	// start — the "keep the hot ones" signal for eviction ranking.
+	uses atomic.Int64
+	// evicted closes the Store-vs-evict race: set (under the dim index
+	// lock ordering) before the index drops the entry, checked by the
+	// index insert, so a concurrent eviction can never leave a dangling
+	// index item for an entry no longer in its shard map.
+	evicted atomic.Bool
 }
+
+// Protected reports whether the entry is shielded from routine eviction.
+func (e *Entry) Protected() bool { return e.protected.Load() }
+
+// Uses returns how many lookups/warm starts this entry has served.
+func (e *Entry) Uses() int64 { return e.uses.Load() }
 
 // NewDB returns an empty pulse database with permutation detection on.
 func NewDB() *DB {
-	return &DB{
-		DetectPermutations: true,
-		entries:            make(map[string]*Entry),
-		byDim:              make(map[int][]*Entry),
-		flights:            make(map[string]*flight),
+	db := &DB{DetectPermutations: true}
+	for i := range db.shards {
+		db.shards[i].entries = make(map[string]*Entry)
+		db.shards[i].flights = make(map[string]*flight)
 	}
+	return db
+}
+
+// dbSeed fixes the shard hash across all DBs so permuted keys map to
+// stable shards for the ordered multi-shard locking in do().
+var dbSeed = maphash.MakeSeed()
+
+// shardIndex maps a canonical key to its shard.
+func shardIndex(key string) int {
+	return int(maphash.String(dbSeed, key) & (numShards - 1))
+}
+
+func (db *DB) shard(key string) *shard { return &db.shards[shardIndex(key)] }
+
+// SetMetrics attaches a registry for the pulse.* counters. Safe to call
+// concurrently; a nil registry detaches.
+func (db *DB) SetMetrics(reg *obs.Registry) { db.metrics.Store(reg) }
+
+// counter resolves a named counter on the attached registry (nil-safe:
+// increments vanish when no registry is attached).
+func (db *DB) counter(name string) *obs.Counter {
+	return db.metrics.Load().Counter(name)
 }
 
 // Len returns the number of stored pulses.
-func (db *DB) Len() int {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return len(db.entries)
-}
+func (db *DB) Len() int { return int(db.count.Load()) }
 
 // Stats returns cache hit/miss counters.
 func (db *DB) Stats() (hits, misses int) {
@@ -79,6 +158,9 @@ func (db *DB) Stats() (hits, misses int) {
 // coalescing in Do: callers that found another worker already generating
 // their canonical (or permuted) unitary and blocked on its result.
 func (db *DB) Dedups() int64 { return db.dedups.Load() }
+
+// Evictions returns how many entries the capacity bound has removed.
+func (db *DB) Evictions() int64 { return db.evictions.Load() }
 
 // permKey pairs a permuted canonical key with the permutation producing it.
 type permKey struct {
@@ -102,6 +184,15 @@ func (db *DB) permutedKeys(u *linalg.Matrix, usePerms bool) []permKey {
 	return out
 }
 
+// get fetches an entry under its shard's read lock.
+func (db *DB) get(key string) *Entry {
+	s := db.shard(key)
+	s.mu.RLock()
+	e := s.entries[key]
+	s.mu.RUnlock()
+	return e
+}
+
 // Lookup finds a stored pulse for u, trying first the exact canonical key
 // and then every qubit permutation of u (§V-B: "for the same customized
 // gate with permuted qubits, it will also be detected"). The permutation
@@ -113,19 +204,15 @@ func (db *DB) permutedKeys(u *linalg.Matrix, usePerms bool) []permKey {
 // the stored *schedule* (not just its latency) must remap control channels
 // accordingly — see grape.Generator. perm is nil on exact hits.
 func (db *DB) Lookup(u *linalg.Matrix) (gen *Generated, perm []int, ok bool) {
-	db.mu.RLock()
-	e := db.entries[CanonicalKey(u)]
-	db.mu.RUnlock()
-	if e != nil {
+	if e := db.get(CanonicalKey(u)); e != nil {
 		db.hits.Add(1)
+		e.uses.Add(1)
 		return e.Generated, nil, true
 	}
 	for _, pk := range db.permutedKeys(u, db.DetectPermutations) {
-		db.mu.RLock()
-		e := db.entries[pk.key]
-		db.mu.RUnlock()
-		if e != nil {
+		if e := db.get(pk.key); e != nil {
 			db.hits.Add(1)
+			e.uses.Add(1)
 			return e.Generated, pk.perm, true
 		}
 	}
@@ -136,42 +223,40 @@ func (db *DB) Lookup(u *linalg.Matrix) (gen *Generated, perm []int, ok bool) {
 // Store records a generated pulse for u. The first store of a canonical
 // key wins; duplicates are ignored.
 func (db *DB) Store(u *linalg.Matrix, g *Generated) {
-	key := CanonicalKey(u)
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if _, ok := db.entries[key]; ok {
-		return
-	}
-	e := &Entry{Key: key, U: u.Clone(), Generated: g}
-	db.entries[key] = e
-	db.byDim[u.Rows] = append(db.byDim[u.Rows], e)
+	db.store(u, g, false)
 }
 
-// Nearest returns the stored entry of matching dimension with the smallest
-// phase-invariant Frobenius distance to u, provided it is below maxDist.
-// Used as the GRAPE initial guess (§V-B, following AccQOC). The candidate
-// list is snapshotted under the read lock and exact distance ties break on
-// the canonical key, so the chosen warm start is stable for a given DB
-// population even when stores raced with the scan.
-func (db *DB) Nearest(u *linalg.Matrix, maxDist float64) (*Entry, float64, bool) {
-	db.mu.RLock()
-	cands := db.byDim[u.Rows] // entries are append-only and immutable
-	db.mu.RUnlock()
-	var best *Entry
-	bestDist := maxDist
-	for _, e := range cands {
-		d := linalg.GlobalPhaseDistance(u, e.U)
-		switch {
-		case d < bestDist:
-			best, bestDist = e, d
-		case d == bestDist && best != nil && e.Key < best.Key:
-			best = e
+// store inserts an entry (optionally protected from eviction), indexes it
+// for similarity search, and applies the capacity bound.
+func (db *DB) store(u *linalg.Matrix, g *Generated, protected bool) {
+	key := CanonicalKey(u)
+	s := db.shard(key)
+	s.mu.Lock()
+	if prev, ok := s.entries[key]; ok {
+		s.mu.Unlock()
+		if protected {
+			prev.protected.Store(true)
 		}
+		return
 	}
-	if best == nil {
-		return nil, 0, false
+	e := &Entry{Key: key, U: u.Clone(), Generated: g, norm2: frobNorm2(u)}
+	e.protected.Store(protected)
+	s.entries[key] = e
+	s.mu.Unlock()
+
+	db.dimIndex(u.Rows).insert(e)
+	db.count.Add(1)
+	db.maybeEvict()
+}
+
+// Protect marks the stored entry for u (if any) as precious: the ranked
+// eviction removes protected entries only when nothing unprotected
+// remains. The paqoc emitter protects APA-basis pulses — the offline
+// investment the online component must keep warm (§V-C).
+func (db *DB) Protect(u *linalg.Matrix) {
+	if e := db.get(CanonicalKey(u)); e != nil {
+		e.protected.Store(true)
 	}
-	return best, bestDist, true
 }
 
 // Outcome says how Do satisfied a request.
@@ -216,36 +301,43 @@ func (db *DB) DoExact(u *linalg.Matrix, generate func() (*Generated, error)) (*G
 func (db *DB) do(u *linalg.Matrix, usePerms bool, generate func() (*Generated, error)) (*Generated, []int, Outcome, error) {
 	key := CanonicalKey(u)
 	permKeys := db.permutedKeys(u, usePerms)
+	// The slow path must check entries and flights across the exact key
+	// and every permuted key atomically (the seed did this under one
+	// global lock). With shards, that means write-locking the distinct
+	// shards those keys hash to — always in ascending index order, so
+	// concurrent do() calls over overlapping shard sets cannot deadlock.
+	lockSet := db.lockSet(key, permKeys)
 	waited := false
 	for {
-		// Fast path: read-locked hit checks.
+		// Fast path: read-locked hit checks, one shard at a time.
 		if g, perm, oc, ok := db.tryHit(key, permKeys, waited); ok {
 			return g, perm, oc, nil
 		}
 
 		// Slow path: join an in-flight generation or become the leader.
-		db.mu.Lock()
-		if e := db.entries[key]; e != nil {
-			db.mu.Unlock()
+		db.lockShards(lockSet)
+		if e := db.shard(key).entries[key]; e != nil {
+			db.unlockShards(lockSet)
 			return db.hitResult(e, nil, waited)
 		}
 		var joined *flight
-		if f := db.flights[key]; f != nil {
+		if f := db.shard(key).flights[key]; f != nil {
 			joined = f
 		} else {
 			for _, pk := range permKeys {
-				if e := db.entries[pk.key]; e != nil {
-					db.mu.Unlock()
+				sh := db.shard(pk.key)
+				if e := sh.entries[pk.key]; e != nil {
+					db.unlockShards(lockSet)
 					return db.hitResult(e, pk.perm, waited)
 				}
-				if f := db.flights[pk.key]; f != nil {
+				if f := sh.flights[pk.key]; f != nil {
 					joined = f
 					break
 				}
 			}
 		}
 		if joined != nil {
-			db.mu.Unlock()
+			db.unlockShards(lockSet)
 			if db.onWait != nil {
 				db.onWait()
 			}
@@ -254,39 +346,74 @@ func (db *DB) do(u *linalg.Matrix, usePerms bool, generate func() (*Generated, e
 			continue // the leader stored, errored, or panicked; re-check
 		}
 		f := &flight{done: make(chan struct{})}
-		db.flights[key] = f
-		db.mu.Unlock()
+		db.shard(key).flights[key] = f
+		db.unlockShards(lockSet)
 
 		db.misses.Add(1)
 		g, err := runGenerate(generate)
 		if err == nil && g != nil {
 			db.Store(u, g)
 		}
-		db.mu.Lock()
-		delete(db.flights, key)
-		db.mu.Unlock()
+		s := db.shard(key)
+		s.mu.Lock()
+		delete(s.flights, key)
+		s.mu.Unlock()
 		f.err = err
 		close(f.done)
 		return g, nil, OutcomeGenerated, err
 	}
 }
 
-// tryHit checks the stored entries under the read lock.
+// lockSet returns the ascending, de-duplicated shard indices covering the
+// exact key and every permuted key. At most 1 + 5 keys (3-qubit lookups),
+// so a small fixed-capacity slice suffices.
+func (db *DB) lockSet(key string, permKeys []permKey) []int {
+	set := make([]int, 0, 1+len(permKeys))
+	add := func(i int) {
+		for _, v := range set {
+			if v == i {
+				return
+			}
+		}
+		set = append(set, i)
+	}
+	add(shardIndex(key))
+	for _, pk := range permKeys {
+		add(shardIndex(pk.key))
+	}
+	// Insertion sort: ≤ 6 elements.
+	for i := 1; i < len(set); i++ {
+		for j := i; j > 0 && set[j] < set[j-1]; j-- {
+			set[j], set[j-1] = set[j-1], set[j]
+		}
+	}
+	return set
+}
+
+func (db *DB) lockShards(set []int) {
+	for _, i := range set {
+		db.shards[i].mu.Lock()
+	}
+}
+
+func (db *DB) unlockShards(set []int) {
+	for i := len(set) - 1; i >= 0; i-- {
+		db.shards[set[i]].mu.Unlock()
+	}
+}
+
+// tryHit checks the stored entries under the per-shard read locks.
 func (db *DB) tryHit(key string, permKeys []permKey, waited bool) (*Generated, []int, Outcome, bool) {
-	db.mu.RLock()
-	if e := db.entries[key]; e != nil {
-		db.mu.RUnlock()
+	if e := db.get(key); e != nil {
 		g, perm, oc, _ := db.hitResult(e, nil, waited)
 		return g, perm, oc, true
 	}
 	for _, pk := range permKeys {
-		if e := db.entries[pk.key]; e != nil {
-			db.mu.RUnlock()
+		if e := db.get(pk.key); e != nil {
 			g, perm, oc, _ := db.hitResult(e, pk.perm, waited)
 			return g, perm, oc, true
 		}
 	}
-	db.mu.RUnlock()
 	return nil, nil, 0, false
 }
 
@@ -294,6 +421,7 @@ func (db *DB) tryHit(key string, permKeys []permKey, waited bool) (*Generated, [
 // this call, a dedup when this caller blocked on the generating worker.
 func (db *DB) hitResult(e *Entry, perm []int, waited bool) (*Generated, []int, Outcome, error) {
 	db.hits.Add(1)
+	e.uses.Add(1)
 	oc := OutcomeHit
 	if perm != nil {
 		oc = OutcomePermuted
@@ -314,6 +442,24 @@ func runGenerate(generate func() (*Generated, error)) (g *Generated, err error) 
 		}
 	}()
 	return generate()
+}
+
+// snapshotEntries clones the entry pointer list shard by shard — the
+// copy-on-snapshot half of Save. Each shard is read-locked only for the
+// duration of its own copy; entries are immutable, so the returned slice
+// is a consistent-enough snapshot that never blocks writers for longer
+// than one shard's map walk.
+func (db *DB) snapshotEntries() []*Entry {
+	out := make([]*Entry, 0, db.Len())
+	for i := range db.shards {
+		s := &db.shards[i]
+		s.mu.RLock()
+		for _, e := range s.entries {
+			out = append(out, e)
+		}
+		s.mu.RUnlock()
+	}
+	return out
 }
 
 // permTables memoizes permutations by qubit count: the full k! table

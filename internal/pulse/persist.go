@@ -4,8 +4,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
+	"sort"
 
 	"paqoc/internal/linalg"
 )
@@ -19,50 +21,124 @@ type dbFile struct {
 }
 
 type dbFileEntry struct {
-	Dim      int          `json:"dim"`
-	Unitary  [][2]float64 `json:"unitary"` // row-major (re, im)
-	Latency  float64      `json:"latency_dt"`
-	Fidelity float64      `json:"fidelity"`
-	Error    float64      `json:"error"`
-	Schedule *Schedule    `json:"schedule,omitempty"`
+	Dim       int          `json:"dim"`
+	Unitary   [][2]float64 `json:"unitary"` // row-major (re, im)
+	Latency   float64      `json:"latency_dt"`
+	Fidelity  float64      `json:"fidelity"`
+	Error     float64      `json:"error"`
+	Schedule  *Schedule    `json:"schedule,omitempty"`
+	Protected bool         `json:"protected,omitempty"`
 }
 
-// Save serializes every stored pulse. It holds the read lock for the
-// duration, so a concurrent snapshot is internally consistent.
+// loadUnitaryTol bounds how far a loaded matrix may drift from exact
+// unitarity (‖U†U − I‖ entrywise). JSON round-trips float64 exactly and
+// stored targets are products of gate unitaries, so a healthy file sits
+// orders of magnitude inside this; a corrupt or hand-edited one fails
+// fast instead of poisoning warm starts.
+const loadUnitaryTol = 1e-6
+
+// SaveReport summarizes one snapshot.
+type SaveReport struct {
+	// Entries is the number of pulses written.
+	Entries int
+	// SkippedNonFinite counts entries dropped because a NaN or Inf crept
+	// into their metadata or samples (a diverged GRAPE run): encoding them
+	// would abort the whole snapshot (encoding/json rejects non-finite
+	// floats), which previously wedged periodic snapshotting forever.
+	SkippedNonFinite int
+}
+
+// Save serializes every stored pulse. The snapshot is copy-on-snapshot:
+// entry pointers are cloned under the per-shard read locks (one shard at
+// a time), then encoding and writing happen outside any lock — a slow or
+// blocked writer never stalls concurrent Store/Do callers. Entries are
+// sorted by canonical key, so two snapshots of the same population are
+// byte-identical regardless of map iteration or insertion order.
 func (db *DB) Save(w io.Writer) error {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	_, err := db.SaveWithReport(w)
+	return err
+}
+
+// SaveWithReport is Save plus the skip accounting: non-finite entries are
+// skipped and counted (pulse.save_skipped_nonfinite when a metrics
+// registry is attached) rather than failing the snapshot.
+func (db *DB) SaveWithReport(w io.Writer) (SaveReport, error) {
+	entries := db.snapshotEntries()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Key < entries[j].Key })
+
+	var rep SaveReport
 	out := dbFile{Version: 1}
-	for _, dimEntries := range db.byDim {
-		for _, e := range dimEntries {
-			fe := dbFileEntry{
-				Dim:      e.U.Rows,
-				Latency:  e.Generated.Latency,
-				Fidelity: e.Generated.Fidelity,
-				Error:    e.Generated.Error,
-				Schedule: e.Generated.Schedule,
-			}
-			fe.Unitary = make([][2]float64, len(e.U.Data))
-			for i, v := range e.U.Data {
-				fe.Unitary[i] = [2]float64{real(v), imag(v)}
-			}
-			out.Entries = append(out.Entries, fe)
+	for _, e := range entries {
+		if !entryFinite(e) {
+			rep.SkippedNonFinite++
+			continue
 		}
+		fe := dbFileEntry{
+			Dim:       e.U.Rows,
+			Latency:   e.Generated.Latency,
+			Fidelity:  e.Generated.Fidelity,
+			Error:     e.Generated.Error,
+			Schedule:  e.Generated.Schedule,
+			Protected: e.protected.Load(),
+		}
+		fe.Unitary = make([][2]float64, len(e.U.Data))
+		for i, v := range e.U.Data {
+			fe.Unitary[i] = [2]float64{real(v), imag(v)}
+		}
+		out.Entries = append(out.Entries, fe)
+	}
+	rep.Entries = len(out.Entries)
+	if rep.SkippedNonFinite > 0 {
+		db.counter("pulse.save_skipped_nonfinite").Add(int64(rep.SkippedNonFinite))
 	}
 	enc := json.NewEncoder(w)
-	return enc.Encode(out)
+	return rep, enc.Encode(out)
 }
+
+// entryFinite reports whether every float the encoder will see is finite.
+func entryFinite(e *Entry) bool {
+	g := e.Generated
+	if !finite(g.Latency) || !finite(g.Fidelity) || !finite(g.Error) {
+		return false
+	}
+	if s := g.Schedule; s != nil {
+		if !finite(s.SliceDt) {
+			return false
+		}
+		for _, ch := range s.Amps {
+			for _, v := range ch {
+				if !finite(v) {
+					return false
+				}
+			}
+		}
+	}
+	for _, v := range e.U.Data {
+		if !finite(real(v)) || !finite(imag(v)) {
+			return false
+		}
+	}
+	return true
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 
 // SaveFile writes the database to path crash-safely: the snapshot goes to
 // a temporary file in the same directory, is fsynced, and is renamed into
 // place, so an interrupted save (crash, SIGKILL, full disk) can never
 // corrupt an existing database — readers see either the old file or the
 // new one, never a truncated mix.
-func (db *DB) SaveFile(path string) (err error) {
+func (db *DB) SaveFile(path string) error {
+	_, err := db.SaveFileWithReport(path)
+	return err
+}
+
+// SaveFileWithReport is SaveFile plus the SaveWithReport skip accounting.
+func (db *DB) SaveFileWithReport(path string) (rep SaveReport, err error) {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
 	if err != nil {
-		return fmt.Errorf("pulse: saving DB: %v", err)
+		return rep, fmt.Errorf("pulse: saving DB: %v", err)
 	}
 	defer func() {
 		if err != nil {
@@ -70,22 +146,22 @@ func (db *DB) SaveFile(path string) (err error) {
 			os.Remove(tmp.Name())
 		}
 	}()
-	if err = db.Save(tmp); err != nil {
-		return err
+	if rep, err = db.SaveWithReport(tmp); err != nil {
+		return rep, err
 	}
 	if err = tmp.Sync(); err != nil {
-		return err
+		return rep, err
 	}
 	// CreateTemp opens 0600; match the permissions a plain create would use.
 	if err = tmp.Chmod(0o644); err != nil {
-		return err
+		return rep, err
 	}
 	if err = tmp.Close(); err != nil {
-		return err
+		return rep, err
 	}
 	if err = os.Rename(tmp.Name(), path); err != nil {
 		os.Remove(tmp.Name())
-		return err
+		return rep, err
 	}
 	// Make the rename itself durable: without an fsync of the parent
 	// directory, a crash shortly after a snapshot can resurrect the
@@ -95,7 +171,7 @@ func (db *DB) SaveFile(path string) (err error) {
 		_ = d.Sync()
 		d.Close()
 	}
-	return nil
+	return rep, nil
 }
 
 // LoadFile reads a database from path. A missing file is not an error: it
@@ -117,8 +193,13 @@ func LoadFile(path string) (db *DB, ok bool, err error) {
 	return db, true, nil
 }
 
-// LoadDB reads a database written by Save. Cache statistics start fresh;
-// permutation detection follows NewDB's default (on).
+// LoadDB reads a database written by Save, validating every entry: the
+// matrix must be the declared shape, every value (unitary, metadata,
+// schedule samples) must be finite, and the matrix must be unitary within
+// tolerance — a corrupt or hand-edited file fails fast with the offending
+// entry's index instead of poisoning warm starts at compile time. Cache
+// statistics start fresh; permutation detection follows NewDB's default
+// (on).
 func LoadDB(r io.Reader) (*DB, error) {
 	var in dbFile
 	if err := json.NewDecoder(r).Decode(&in); err != nil {
@@ -132,16 +213,38 @@ func LoadDB(r io.Reader) (*DB, error) {
 		if fe.Dim <= 0 || len(fe.Unitary) != fe.Dim*fe.Dim {
 			return nil, fmt.Errorf("pulse: entry %d has inconsistent dimensions", i)
 		}
+		if !finite(fe.Latency) || !finite(fe.Fidelity) || !finite(fe.Error) {
+			return nil, fmt.Errorf("pulse: entry %d has non-finite metadata (latency=%v fidelity=%v error=%v)",
+				i, fe.Latency, fe.Fidelity, fe.Error)
+		}
 		u := linalg.New(fe.Dim, fe.Dim)
 		for k, v := range fe.Unitary {
+			if !finite(v[0]) || !finite(v[1]) {
+				return nil, fmt.Errorf("pulse: entry %d has a non-finite amplitude at element %d", i, k)
+			}
 			u.Data[k] = complex(v[0], v[1])
 		}
-		db.Store(u, &Generated{
+		if !u.IsUnitary(loadUnitaryTol) {
+			return nil, fmt.Errorf("pulse: entry %d is not unitary within %g", i, loadUnitaryTol)
+		}
+		if s := fe.Schedule; s != nil {
+			if !finite(s.SliceDt) {
+				return nil, fmt.Errorf("pulse: entry %d has a non-finite slice_dt", i)
+			}
+			for c, ch := range s.Amps {
+				for j, v := range ch {
+					if !finite(v) {
+						return nil, fmt.Errorf("pulse: entry %d has a non-finite sample (channel %d, slice %d)", i, c, j)
+					}
+				}
+			}
+		}
+		db.store(u, &Generated{
 			Latency:  fe.Latency,
 			Fidelity: fe.Fidelity,
 			Error:    fe.Error,
 			Schedule: fe.Schedule,
-		})
+		}, fe.Protected)
 	}
 	return db, nil
 }

@@ -142,6 +142,14 @@ type Generator interface {
 	GenerateCtx(ctx context.Context, cg *CustomGate, fidelityTarget float64) (*Generated, error)
 }
 
+// DBProvider is implemented by generators backed by a pulse database
+// (grape.Generator, latency.Model). The paqoc emitter uses it to reach
+// the shared DB for policy decisions the generator cannot make itself —
+// e.g. protecting APA-basis entries from capacity eviction.
+type DBProvider interface {
+	PulseDB() *DB
+}
+
 // LegacyGenerator is the pre-context generator shape, kept so existing
 // context-free implementations (tests, third-party mocks) keep working
 // via Adapt.

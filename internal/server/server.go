@@ -69,6 +69,11 @@ type Config struct {
 	// DBPath is the pulse-database file: loaded at startup when present,
 	// snapshotted periodically and on shutdown. Empty disables persistence.
 	DBPath string
+	// DBMaxEntries bounds the warm pulse database: past this many entries
+	// a ranked eviction drops cold ones (APA-basis and high-hit entries
+	// go last), keeping a long-running server's memory bounded. 0 means
+	// unbounded.
+	DBMaxEntries int
 	// SnapshotInterval is the warm-DB persistence cadence (default 5m when
 	// DBPath is set; negative disables periodic snapshots).
 	SnapshotInterval time.Duration
@@ -179,6 +184,12 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.compileFn = s.compile
 	preregisterMetrics(s.reg)
+	// The shared DB reports its own counters (nearest scan/prune split,
+	// evictions, snapshot skips) into the server registry.
+	db.SetMetrics(s.reg)
+	if cfg.DBMaxEntries > 0 {
+		db.SetMaxEntries(cfg.DBMaxEntries)
+	}
 	s.reg.Gauge("server.queue_capacity").Set(float64(cfg.QueueDepth))
 	s.reg.Gauge("server.workers").Set(float64(cfg.Workers))
 	return s, nil
@@ -303,15 +314,22 @@ func (s *Server) snapshotter() {
 }
 
 // saveDB persists the shared database crash-safely (temp file + rename).
+// Non-finite entries (diverged GRAPE runs) are skipped and logged rather
+// than failing the snapshot — one poisoned entry must not wedge periodic
+// persistence forever.
 func (s *Server) saveDB() error {
 	if s.cfg.DBPath == "" {
 		return nil
 	}
-	if err := s.db.SaveFile(s.cfg.DBPath); err != nil {
+	rep, err := s.db.SaveFileWithReport(s.cfg.DBPath)
+	if err != nil {
 		return err
 	}
 	s.reg.Counter("server.db_snapshots").Inc()
-	s.cfg.Logf("pulse DB: saved %d entries to %s", s.db.Len(), s.cfg.DBPath)
+	if rep.SkippedNonFinite > 0 {
+		s.cfg.Logf("pulse DB: snapshot skipped %d non-finite entries", rep.SkippedNonFinite)
+	}
+	s.cfg.Logf("pulse DB: saved %d entries to %s", rep.Entries, s.cfg.DBPath)
 	return nil
 }
 
@@ -377,6 +395,8 @@ func preregisterMetrics(r *obs.Registry) {
 		"mining.subcircuits_enumerated", "mining.pruned_qubit_cap", "mining.patterns",
 		"latency.model.probes", "latency.model.db_hits",
 		"engine.tasks", "engine.completed", "pulse.db_dedups",
+		"pulse.nearest_scanned", "pulse.nearest_pruned",
+		"pulse.evictions", "pulse.save_skipped_nonfinite",
 	} {
 		r.Counter(name)
 	}
