@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
 
 	"paqoc/internal/bench"
@@ -240,6 +241,41 @@ type benchRecord struct {
 	NumBlocks     int     `json:"num_blocks"`
 }
 
+// stageQuantiles is the per-pipeline-stage latency distribution summary of
+// the -json export: p50/p90/p99 interpolated from the shared
+// paqoc.stage_ms quantile histogram, so BENCH files capture distributions,
+// not just means.
+type stageQuantiles struct {
+	Stage string  `json:"stage"`
+	Count int64   `json:"count"`
+	P50Ms float64 `json:"p50_ms"`
+	P90Ms float64 `json:"p90_ms"`
+	P99Ms float64 `json:"p99_ms"`
+}
+
+// collectStageQuantiles pulls the per-stage quantiles out of a snapshot.
+func collectStageQuantiles(snap *obs.Snapshot) []stageQuantiles {
+	fam, ok := snap.HistogramVecs[obs.StageMetric]
+	if !ok {
+		return nil
+	}
+	var out []stageQuantiles
+	for _, se := range fam.Series {
+		if se.Count == 0 || len(se.Values) == 0 {
+			continue
+		}
+		out = append(out, stageQuantiles{
+			Stage: se.Values[0],
+			Count: se.Count,
+			P50Ms: se.P50,
+			P90Ms: se.P90,
+			P99Ms: se.P99,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Stage < out[j].Stage })
+	return out
+}
+
 // writeBenchJSON emits the machine-readable sweep results alongside the
 // pipeline metrics snapshot accumulated across all compiled methods.
 func writeBenchJSON(path string, rows []experiments.BenchRow, o *obs.Obs) error {
@@ -259,12 +295,14 @@ func writeBenchJSON(path string, rows []experiments.BenchRow, o *obs.Obs) error 
 		}
 	}
 	doc := struct {
-		Schema  string        `json:"schema"`
-		Results []benchRecord `json:"results"`
-		Metrics *obs.Snapshot `json:"metrics,omitempty"`
+		Schema  string           `json:"schema"`
+		Results []benchRecord    `json:"results"`
+		Stages  []stageQuantiles `json:"stage_quantiles,omitempty"`
+		Metrics *obs.Snapshot    `json:"metrics,omitempty"`
 	}{Schema: "paqoc-bench/v1", Results: records}
 	if o != nil {
 		doc.Metrics = o.Metrics.Snapshot()
+		doc.Stages = collectStageQuantiles(doc.Metrics)
 	}
 	f, err := os.Create(path)
 	if err != nil {

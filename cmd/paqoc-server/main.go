@@ -8,8 +8,10 @@
 //
 //	paqoc-server -addr :8080 -db pulses.db
 //
-// Endpoints: POST /v1/compile, GET /v1/jobs/{id}, GET /healthz,
-// GET /readyz, and GET /metrics. The unauthenticated /debug/pprof
+// Endpoints: POST /v1/compile, GET /v1/jobs/{id}, GET /v1/jobs/{id}/events
+// (live SSE job stream), GET /healthz, GET /readyz, and GET /metrics
+// (JSON; ?format=text for a table, ?format=prom for Prometheus text
+// exposition). The unauthenticated /debug/pprof
 // endpoints are not on the API mux; -pprof <addr> serves them on a
 // separate (loopback) listener. See the README's "Running the service"
 // section for curl examples.
@@ -25,7 +27,6 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"net"
 	"net/http"
 	"os"
@@ -33,6 +34,7 @@ import (
 	"syscall"
 	"time"
 
+	"paqoc/internal/obs"
 	"paqoc/internal/server"
 )
 
@@ -58,9 +60,11 @@ func run() error {
 		rows      = flag.Int("rows", 5, "device grid rows")
 		cols      = flag.Int("cols", 5, "device grid cols")
 		pprofAddr = flag.String("pprof", "", "serve /debug/pprof on this separate address (e.g. localhost:6060); empty disables")
+		logLevel  = flag.String("log-level", "info", "structured-log threshold: debug, info, warn, or error")
 	)
 	flag.Parse()
 
+	logger := obs.NewStderrLogger(obs.ParseLevel(*logLevel))
 	srv, err := server.New(server.Config{
 		Workers:          *workers,
 		QueueDepth:       *queue,
@@ -72,6 +76,7 @@ func run() error {
 		SnapshotInterval: *snapshot,
 		GridRows:         *rows,
 		GridCols:         *cols,
+		Logger:           logger,
 	})
 	if err != nil {
 		return err
@@ -88,7 +93,7 @@ func run() error {
 		pprofSrv := &http.Server{Handler: server.PprofHandler()}
 		go func() { _ = pprofSrv.Serve(pln) }()
 		defer pprofSrv.Close()
-		log.Printf("pprof: serving on http://%s/debug/pprof/", pln.Addr())
+		logger.Info("pprof serving", "addr", fmt.Sprintf("http://%s/debug/pprof/", pln.Addr()))
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -96,7 +101,8 @@ func run() error {
 		return err
 	}
 	httpSrv := &http.Server{Handler: srv.Handler()}
-	log.Printf("serving on http://%s (workers=%d queue=%d db=%q)", ln.Addr(), *workers, *queue, *dbPath)
+	logger.Info("serving", "addr", fmt.Sprintf("http://%s", ln.Addr()),
+		"workers", *workers, "queue", *queue, "db", *dbPath)
 
 	errCh := make(chan error, 1)
 	go func() {
@@ -114,7 +120,7 @@ func run() error {
 		return err
 	case <-sigCtx.Done():
 	}
-	log.Printf("signal received, draining (deadline %v)", *drain)
+	logger.Info("signal received, draining", "deadline", *drain)
 
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()

@@ -236,6 +236,18 @@ func run() error {
 			fmt.Printf("  engine pool: %d tasks, %d completed, peak %g active, peak %g queued\n",
 				snap.Counters["engine.tasks"], snap.Counters["engine.completed"],
 				snap.Gauges["engine.active_workers.peak"], snap.Gauges["engine.queued.peak"])
+			// Stage latency quantiles from the shared paqoc.stage_ms histogram
+			// family — interpolated from the log-spaced buckets, so p99 on a
+			// single compile is really just the max observation.
+			if fam, ok := snap.HistogramVecs[obs.StageMetric]; ok {
+				for _, se := range fam.Series {
+					if se.Count == 0 || len(se.Values) == 0 {
+						continue
+					}
+					fmt.Printf("  stage %-14s n=%-4d p50=%.3fms p90=%.3fms p99=%.3fms\n",
+						se.Values[0], se.Count, se.P50, se.P90, se.P99)
+				}
+			}
 		}
 	}
 	if *traceFile != "" {

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"runtime/debug"
 	"sync"
+	"time"
 
 	"paqoc/internal/obs"
 )
@@ -49,6 +50,7 @@ type Group struct {
 	queuedPeak *obs.Gauge
 	tasks      *obs.Counter
 	completed  *obs.Counter
+	taskMs     *obs.Histogram
 }
 
 // WithContext returns a Group running at most `workers` tasks concurrently
@@ -68,6 +70,7 @@ func WithContext(ctx context.Context, workers int) (*Group, context.Context) {
 		queuedPeak: reg.Gauge("engine.queued.peak"),
 		tasks:      reg.Counter("engine.tasks"),
 		completed:  reg.Counter("engine.completed"),
+		taskMs:     reg.Histogram("engine.task_ms", obs.LatencyBuckets),
 	}
 	if workers > 1 {
 		g.sem = make(chan struct{}, workers)
@@ -121,6 +124,12 @@ func (g *Group) failed() bool {
 func (g *Group) run(fn func(ctx context.Context) error) {
 	g.tasks.Inc()
 	g.track(+1)
+	if g.taskMs != nil {
+		start := time.Now()
+		defer func() {
+			g.taskMs.Observe(float64(time.Since(start)) / float64(time.Millisecond))
+		}()
+	}
 	defer g.completed.Inc()
 	defer g.track(-1)
 	defer func() {

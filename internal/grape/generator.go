@@ -33,6 +33,11 @@ func NewGenerator(opts Options) *Generator {
 	return &Generator{Opts: opts, DB: pulse.NewDB(), SimilarityDist: 0.8}
 }
 
+// convergenceSampleEvery thins the live convergence stream: one event per
+// this many optimizer iterations (plus the first and the target-reaching
+// point) keeps a 300-iteration run to ~a dozen events on the job ring.
+const convergenceSampleEvery = 25
+
 var (
 	_ pulse.Generator       = (*Generator)(nil)
 	_ pulse.LegacyGenerator = (*Generator)(nil)
@@ -134,10 +139,28 @@ func (g *Generator) optimize(ctx context.Context, cg *pulse.CustomGate, u *linal
 		}
 	}
 
+	// Live convergence streaming: when the context carries an event ring (a
+	// server job with SSE subscribers), sample the optimizer's iterations
+	// onto it — every convergenceSampleEvery-th point plus the first and any
+	// target-reaching one, so the stream shows the curve without flooding
+	// the bounded ring.
+	if ring := obs.EventsFrom(ctx); ring != nil && opts.OnIteration == nil {
+		gate := cg.Describe()
+		targetFid := opts.TargetFidelity
+		opts.OnIteration = func(p obs.ConvergencePoint) {
+			if p.Iter == 1 || p.Iter%convergenceSampleEvery == 0 || p.Fidelity >= targetFid {
+				ring.PublishConvergence(gate, p)
+			}
+		}
+	}
+
 	sys := hamiltonian.XYTransmon(cg.NumQubits(), g.couplings(cg))
 	start := time.Now()
 	reg.Counter("grape.generated").Inc()
 	sched, latency, fid, err := MinimumTimeCtx(ctx, sys, u, opts)
+	reg.HistogramVec(obs.StageMetric, obs.LatencyBuckets, "stage").
+		WithLabelValues("grape").
+		Observe(float64(time.Since(start)) / float64(time.Millisecond))
 	if err != nil {
 		return nil, err
 	}

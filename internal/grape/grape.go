@@ -38,10 +38,20 @@ type Options struct {
 	// step-size trace in Result.Trace (one allocation per iteration; off on
 	// the hot path by default).
 	RecordConvergence bool
+	// MaxTracePoints bounds the retained convergence trace per optimization
+	// (obs.ConvergenceTrace.MaxPoints): 0 selects DefaultMaxTracePoints,
+	// negative removes the bound. Dropped points are counted in the
+	// "obs.convergence_dropped" metric so a long-running server can see
+	// thinning happen.
+	MaxTracePoints int
 	// OnIteration, when non-nil, is invoked with every iteration's
 	// convergence point — the streaming variant of RecordConvergence.
 	OnIteration func(obs.ConvergencePoint)
 }
+
+// DefaultMaxTracePoints is the default convergence-trace cap: generous for
+// one CLI run, bounded for a server recording traces on every compile.
+const DefaultMaxTracePoints = 512
 
 // DefaultOptions returns the settings used across the evaluation.
 func DefaultOptions() Options {
@@ -212,7 +222,20 @@ func optimize(ctx context.Context, sys *hamiltonian.System, target *linalg.Matri
 
 	var trace *obs.ConvergenceTrace
 	if opts.RecordConvergence {
-		trace = &obs.ConvergenceTrace{}
+		cap := opts.MaxTracePoints
+		if cap == 0 {
+			cap = DefaultMaxTracePoints
+		}
+		if cap < 0 {
+			cap = 0 // unbounded
+		}
+		trace = &obs.ConvergenceTrace{MaxPoints: cap}
+		// Flush thinning losses to the registry on every return path.
+		defer func() {
+			if trace.DroppedCount > 0 {
+				reg.Counter("obs.convergence_dropped").Add(int64(trace.DroppedCount))
+			}
+		}()
 	}
 	best := &Result{Fidelity: -1, Trace: trace}
 	dim := float64(sys.Dim)

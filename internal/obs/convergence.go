@@ -11,15 +11,39 @@ type ConvergencePoint struct {
 // ConvergenceTrace records fidelity-vs-iteration and step-size curves for
 // one GRAPE run. Not safe for concurrent writers (each optimization owns
 // its trace); a nil *ConvergenceTrace is a no-op recorder.
+//
+// MaxPoints, when positive, bounds retained samples: once the trace would
+// exceed the cap, Record thins the retained prefix to every other point
+// and keeps appending — so the tail (where convergence is decided) stays
+// dense, early iterations stay represented at halved resolution, and a
+// long-running server cannot grow memory without limit. DroppedCount
+// reports how many recorded points were thinned away.
 type ConvergenceTrace struct {
 	Points []ConvergencePoint `json:"points"`
+	// MaxPoints caps len(Points); 0 means unbounded.
+	MaxPoints int `json:"-"`
+	// DroppedCount is how many points were discarded by the cap.
+	DroppedCount int `json:"dropped,omitempty"`
 }
 
 // Record appends one iteration point. No-op on a nil receiver.
 func (t *ConvergenceTrace) Record(p ConvergencePoint) {
-	if t != nil {
-		t.Points = append(t.Points, p)
+	if t == nil {
+		return
 	}
+	if t.MaxPoints > 0 && len(t.Points) >= t.MaxPoints {
+		// Thin in place: keep every other retained point. Amortized O(1)
+		// per Record — each thinning halves the slice, so successive caps
+		// are hit half as often.
+		keep := 0
+		for i := 0; i < len(t.Points); i += 2 {
+			t.Points[keep] = t.Points[i]
+			keep++
+		}
+		t.DroppedCount += len(t.Points) - keep
+		t.Points = t.Points[:keep]
+	}
+	t.Points = append(t.Points, p)
 }
 
 // Len returns the number of recorded iterations (0 for nil).

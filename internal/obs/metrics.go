@@ -151,6 +151,14 @@ type Registry struct {
 	counts map[string]*Counter
 	gauges map[string]*Gauge
 	hists  map[string]*Histogram
+	cvecs  map[string]*CounterVec
+	gvecs  map[string]*GaugeVec
+	hvecs  map[string]*HistogramVec
+	help   map[string]string
+	// collectors run at the top of Snapshot, before values are frozen —
+	// the hook the runtime collector uses to sample on scrape rather than
+	// on a timer. Collectors must not call Snapshot themselves.
+	collectors []func()
 }
 
 // NewRegistry returns an empty registry.
@@ -159,7 +167,34 @@ func NewRegistry() *Registry {
 		counts: map[string]*Counter{},
 		gauges: map[string]*Gauge{},
 		hists:  map[string]*Histogram{},
+		cvecs:  map[string]*CounterVec{},
+		gvecs:  map[string]*GaugeVec{},
+		hvecs:  map[string]*HistogramVec{},
+		help:   map[string]string{},
 	}
+}
+
+// SetHelp registers a help string for a metric family, emitted as the
+// # HELP line of the Prometheus exposition. No-op on a nil registry.
+func (r *Registry) SetHelp(name, help string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.help[name] = help
+	r.mu.Unlock()
+}
+
+// AddCollector registers a function invoked at the top of every Snapshot,
+// before instrument values are frozen. Collectors sample external state
+// (runtime stats, pool sizes) into gauges on scrape. No-op on nil.
+func (r *Registry) AddCollector(fn func()) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	r.collectors = append(r.collectors, fn)
+	r.mu.Unlock()
 }
 
 // Counter returns the named counter, creating it on first use. Returns nil
@@ -227,11 +262,17 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 		}
 		bs := append([]float64(nil), bounds...)
 		sort.Float64s(bs)
-		h = &Histogram{bounds: bs, counts: make([]atomic.Int64, len(bs)+1)}
-		h.min.Store(initSentinel)
-		h.max.Store(initSentinel)
+		h = newHistogram(bs)
 		r.hists[name] = h
 	}
+	return h
+}
+
+// newHistogram builds a histogram over already-sorted bucket bounds.
+func newHistogram(bounds []float64) *Histogram {
+	h := &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+	h.min.Store(initSentinel)
+	h.max.Store(initSentinel)
 	return h
 }
 
@@ -242,12 +283,16 @@ type Bucket struct {
 	Count int64   `json:"count"`
 }
 
-// HistogramSnapshot is the frozen state of one histogram.
+// HistogramSnapshot is the frozen state of one histogram. P50/P90/P99 are
+// interpolated streaming quantiles, precomputed at snapshot time.
 type HistogramSnapshot struct {
 	Count   int64    `json:"count"`
 	Sum     float64  `json:"sum"`
 	Min     float64  `json:"min"`
 	Max     float64  `json:"max"`
+	P50     float64  `json:"p50,omitempty"`
+	P90     float64  `json:"p90,omitempty"`
+	P99     float64  `json:"p99,omitempty"`
 	Buckets []Bucket `json:"buckets"`
 }
 
@@ -259,16 +304,130 @@ func (h HistogramSnapshot) Mean() float64 {
 	return h.Sum / float64(h.Count)
 }
 
+// Quantile estimates the q-quantile (0 < q < 1) by linear interpolation
+// inside the bucket where the cumulative count crosses q·Count, the
+// standard fixed-bucket estimator. With log-spaced bounds (LogBuckets) the
+// relative error is bounded by the bucket ratio. Samples beyond the last
+// finite bound resolve to the observed Max; results are clamped to
+// [Min, Max] so small-sample quantiles stay inside the observed range.
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.Min
+	}
+	if q >= 1 {
+		return h.Max
+	}
+	target := q * float64(h.Count)
+	var cum int64
+	lower := 0.0
+	for _, b := range h.Buckets {
+		next := cum + b.Count
+		if float64(next) >= target && b.Count > 0 {
+			if math.IsInf(b.Le, 1) {
+				break // mass beyond the last finite bound: report Max
+			}
+			v := lower + (b.Le-lower)*(target-float64(cum))/float64(b.Count)
+			return h.clamp(v)
+		}
+		cum = next
+		if !math.IsInf(b.Le, 1) {
+			lower = b.Le
+		}
+	}
+	return h.Max
+}
+
+func (h HistogramSnapshot) clamp(v float64) float64 {
+	if v < h.Min {
+		return h.Min
+	}
+	if v > h.Max {
+		return h.Max
+	}
+	return v
+}
+
+// CounterSeries is one labeled counter sample.
+type CounterSeries struct {
+	Values []string `json:"values"`
+	Value  int64    `json:"value"`
+}
+
+// GaugeSeries is one labeled gauge sample.
+type GaugeSeries struct {
+	Values []string `json:"values"`
+	Value  float64  `json:"value"`
+}
+
+// HistogramSeries is one labeled histogram snapshot.
+type HistogramSeries struct {
+	Values []string `json:"values"`
+	HistogramSnapshot
+}
+
+// LabeledCounterSnapshot is the frozen state of one counter family.
+type LabeledCounterSnapshot struct {
+	Labels []string        `json:"labels"`
+	Series []CounterSeries `json:"series"`
+}
+
+// LabeledGaugeSnapshot is the frozen state of one gauge family.
+type LabeledGaugeSnapshot struct {
+	Labels []string      `json:"labels"`
+	Series []GaugeSeries `json:"series"`
+}
+
+// LabeledHistogramSnapshot is the frozen state of one histogram family.
+type LabeledHistogramSnapshot struct {
+	Labels []string          `json:"labels"`
+	Series []HistogramSeries `json:"series"`
+}
+
 // Snapshot is a consistent-enough point-in-time copy of a registry,
 // serializable to JSON and renderable as a text table.
 type Snapshot struct {
 	Counters   map[string]int64             `json:"counters"`
 	Gauges     map[string]float64           `json:"gauges"`
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
+	// Labeled families; omitted from the JSON when no vecs are registered,
+	// so snapshots of unlabeled registries serialize exactly as before.
+	CounterVecs   map[string]LabeledCounterSnapshot   `json:"counter_vecs,omitempty"`
+	GaugeVecs     map[string]LabeledGaugeSnapshot     `json:"gauge_vecs,omitempty"`
+	HistogramVecs map[string]LabeledHistogramSnapshot `json:"histogram_vecs,omitempty"`
+	// help carries the registered # HELP strings for WritePrometheus.
+	help map[string]string
 }
 
-// Snapshot freezes the registry's current values. Returns an empty
-// snapshot on a nil registry.
+// snapshotHistogram freezes one histogram's state.
+func snapshotHistogram(h *Histogram) HistogramSnapshot {
+	hs := HistogramSnapshot{Count: h.count.Load()}
+	hs.Sum = math.Float64frombits(h.sum.Load())
+	if mn := h.min.Load(); mn != initSentinel {
+		hs.Min = math.Float64frombits(mn)
+	}
+	if mx := h.max.Load(); mx != initSentinel {
+		hs.Max = math.Float64frombits(mx)
+	}
+	for i := range h.counts {
+		le := math.Inf(1)
+		if i < len(h.bounds) {
+			le = h.bounds[i]
+		}
+		hs.Buckets = append(hs.Buckets, Bucket{Le: le, Count: h.counts[i].Load()})
+	}
+	if hs.Count > 0 {
+		hs.P50 = hs.Quantile(0.50)
+		hs.P90 = hs.Quantile(0.90)
+		hs.P99 = hs.Quantile(0.99)
+	}
+	return hs
+}
+
+// Snapshot runs the registered collectors, then freezes the registry's
+// current values. Returns an empty snapshot on a nil registry.
 func (r *Registry) Snapshot() *Snapshot {
 	s := &Snapshot{
 		Counters:   map[string]int64{},
@@ -279,6 +438,12 @@ func (r *Registry) Snapshot() *Snapshot {
 		return s
 	}
 	r.mu.RLock()
+	collectors := append([]func(){}, r.collectors...)
+	r.mu.RUnlock()
+	for _, fn := range collectors {
+		fn()
+	}
+	r.mu.RLock()
 	defer r.mu.RUnlock()
 	for name, c := range r.counts {
 		s.Counters[name] = c.Value()
@@ -287,24 +452,68 @@ func (r *Registry) Snapshot() *Snapshot {
 		s.Gauges[name] = g.Value()
 	}
 	for name, h := range r.hists {
-		hs := HistogramSnapshot{Count: h.count.Load()}
-		hs.Sum = math.Float64frombits(h.sum.Load())
-		if mn := h.min.Load(); mn != initSentinel {
-			hs.Min = math.Float64frombits(mn)
-		}
-		if mx := h.max.Load(); mx != initSentinel {
-			hs.Max = math.Float64frombits(mx)
-		}
-		for i := range h.counts {
-			le := math.Inf(1)
-			if i < len(h.bounds) {
-				le = h.bounds[i]
+		s.Histograms[name] = snapshotHistogram(h)
+	}
+	if len(r.cvecs) > 0 {
+		s.CounterVecs = map[string]LabeledCounterSnapshot{}
+		for name, v := range r.cvecs {
+			fam := LabeledCounterSnapshot{Labels: append([]string(nil), v.labels...)}
+			v.mu.RLock()
+			keys := sortedKeys(v.children)
+			for _, k := range keys {
+				ch := v.children[k]
+				fam.Series = append(fam.Series, CounterSeries{Values: ch.values, Value: ch.c.Value()})
 			}
-			hs.Buckets = append(hs.Buckets, Bucket{Le: le, Count: h.counts[i].Load()})
+			v.mu.RUnlock()
+			s.CounterVecs[name] = fam
 		}
-		s.Histograms[name] = hs
+	}
+	if len(r.gvecs) > 0 {
+		s.GaugeVecs = map[string]LabeledGaugeSnapshot{}
+		for name, v := range r.gvecs {
+			fam := LabeledGaugeSnapshot{Labels: append([]string(nil), v.labels...)}
+			v.mu.RLock()
+			keys := sortedKeys(v.children)
+			for _, k := range keys {
+				ch := v.children[k]
+				fam.Series = append(fam.Series, GaugeSeries{Values: ch.values, Value: ch.g.Value()})
+			}
+			v.mu.RUnlock()
+			s.GaugeVecs[name] = fam
+		}
+	}
+	if len(r.hvecs) > 0 {
+		s.HistogramVecs = map[string]LabeledHistogramSnapshot{}
+		for name, v := range r.hvecs {
+			fam := LabeledHistogramSnapshot{Labels: append([]string(nil), v.labels...)}
+			v.mu.RLock()
+			keys := sortedKeys(v.children)
+			for _, k := range keys {
+				ch := v.children[k]
+				fam.Series = append(fam.Series, HistogramSeries{Values: ch.values, HistogramSnapshot: snapshotHistogram(ch.h)})
+			}
+			v.mu.RUnlock()
+			s.HistogramVecs[name] = fam
+		}
+	}
+	if len(r.help) > 0 {
+		s.help = make(map[string]string, len(r.help))
+		for k, v := range r.help {
+			s.help[k] = v
+		}
 	}
 	return s
+}
+
+// sortedKeys returns the map's keys in sorted order, so snapshot series
+// (and therefore the Prometheus exposition) are deterministic.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // MarshalJSON serializes the bucket, mapping the +Inf bound to the string
@@ -376,4 +585,39 @@ func (s *Snapshot) WriteText(w io.Writer) {
 		fmt.Fprintf(w, "%-40s n=%-8d mean=%-10.4g min=%-10.4g max=%.4g\n",
 			n, h.Count, h.Mean(), h.Min, h.Max)
 	}
+	for _, n := range sortedKeys(s.CounterVecs) {
+		fam := s.CounterVecs[n]
+		for _, se := range fam.Series {
+			fmt.Fprintf(w, "%-40s %12d\n", seriesName(n, fam.Labels, se.Values), se.Value)
+		}
+	}
+	for _, n := range sortedKeys(s.GaugeVecs) {
+		fam := s.GaugeVecs[n]
+		for _, se := range fam.Series {
+			fmt.Fprintf(w, "%-40s %12.4g\n", seriesName(n, fam.Labels, se.Values), se.Value)
+		}
+	}
+	for _, n := range sortedKeys(s.HistogramVecs) {
+		fam := s.HistogramVecs[n]
+		for _, se := range fam.Series {
+			fmt.Fprintf(w, "%-40s n=%-8d p50=%-10.4g p90=%-10.4g p99=%.4g\n",
+				seriesName(n, fam.Labels, se.Values), se.Count, se.P50, se.P90, se.P99)
+		}
+	}
+}
+
+// seriesName renders name{l1=v1,l2=v2} for the text table.
+func seriesName(name string, labels, values []string) string {
+	out := name + "{"
+	for i, l := range labels {
+		if i > 0 {
+			out += ","
+		}
+		v := ""
+		if i < len(values) {
+			v = values[i]
+		}
+		out += l + "=" + v
+	}
+	return out + "}"
 }

@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"math"
+	"runtime"
+	"runtime/metrics"
+)
+
+// RegisterRuntimeCollector wires Go runtime health gauges into the
+// registry, sampled on every Snapshot (i.e. on every metrics scrape)
+// rather than on a timer — idle servers do no sampling work, and scrapes
+// always see fresh values. No-op on a nil registry.
+//
+// Gauges: runtime.goroutines, runtime.heap_bytes, runtime.heap_objects,
+// runtime.gc_cycles, and runtime.gc_pause_p50_ms / runtime.gc_pause_max_ms
+// from the runtime/metrics pause-latency distribution.
+func RegisterRuntimeCollector(r *Registry) {
+	if r == nil {
+		return
+	}
+	r.SetHelp("runtime.goroutines", "Number of live goroutines at scrape time.")
+	r.SetHelp("runtime.heap_bytes", "Bytes of allocated heap objects.")
+	r.SetHelp("runtime.heap_objects", "Number of allocated heap objects.")
+	r.SetHelp("runtime.gc_cycles", "Completed GC cycles since process start.")
+	r.SetHelp("runtime.gc_pause_p50_ms", "Median stop-the-world GC pause, milliseconds.")
+	r.SetHelp("runtime.gc_pause_max_ms", "Longest observed stop-the-world GC pause, milliseconds.")
+
+	samples := []metrics.Sample{
+		{Name: "/memory/classes/heap/objects:bytes"},
+		{Name: "/gc/heap/objects:objects"},
+		{Name: "/gc/cycles/total:gc-cycles"},
+		{Name: "/sched/pauses/total/gc:seconds"},
+	}
+	r.AddCollector(func() {
+		r.Gauge("runtime.goroutines").Set(float64(runtime.NumGoroutine()))
+		metrics.Read(samples)
+		for _, s := range samples {
+			switch s.Name {
+			case "/memory/classes/heap/objects:bytes":
+				if s.Value.Kind() == metrics.KindUint64 {
+					r.Gauge("runtime.heap_bytes").Set(float64(s.Value.Uint64()))
+				}
+			case "/gc/heap/objects:objects":
+				if s.Value.Kind() == metrics.KindUint64 {
+					r.Gauge("runtime.heap_objects").Set(float64(s.Value.Uint64()))
+				}
+			case "/gc/cycles/total:gc-cycles":
+				if s.Value.Kind() == metrics.KindUint64 {
+					r.Gauge("runtime.gc_cycles").Set(float64(s.Value.Uint64()))
+				}
+			case "/sched/pauses/total/gc:seconds":
+				if s.Value.Kind() != metrics.KindFloat64Histogram {
+					continue
+				}
+				h := s.Value.Float64Histogram()
+				if p50 := histQuantile(h, 0.5); p50 >= 0 {
+					r.Gauge("runtime.gc_pause_p50_ms").Set(p50 * 1000)
+				}
+				if max := histMaxBucket(h); max >= 0 {
+					r.Gauge("runtime.gc_pause_max_ms").Set(max * 1000)
+				}
+			}
+		}
+	})
+}
+
+// histQuantile estimates a quantile from a runtime/metrics histogram,
+// returning the upper bound of the bucket holding the quantile. Returns -1
+// when the histogram is empty.
+func histQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return -1
+	}
+	target := q * float64(total)
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if float64(cum) >= target {
+			// Buckets has len(Counts)+1 boundaries; bucket i spans
+			// Buckets[i]..Buckets[i+1].
+			return finiteBound(h.Buckets, i+1)
+		}
+	}
+	return finiteBound(h.Buckets, len(h.Buckets)-1)
+}
+
+// finiteBound returns the boundary at i, stepping down past a +Inf tail
+// (runtime histograms end in an open bucket).
+func finiteBound(bounds []float64, i int) float64 {
+	if i >= len(bounds) {
+		i = len(bounds) - 1
+	}
+	for i > 0 && math.IsInf(bounds[i], 1) {
+		i--
+	}
+	return bounds[i]
+}
+
+// histMaxBucket returns the upper bound of the highest non-empty bucket,
+// or -1 when the histogram is empty.
+func histMaxBucket(h *metrics.Float64Histogram) float64 {
+	for i := len(h.Counts) - 1; i >= 0; i-- {
+		if h.Counts[i] == 0 {
+			continue
+		}
+		return finiteBound(h.Buckets, i+1)
+	}
+	return -1
+}

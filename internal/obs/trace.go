@@ -58,6 +58,8 @@ const (
 	tracerKey ctxKey = iota
 	spanKey
 	metricsKey
+	loggerKey
+	eventsKey
 )
 
 // WithTracer installs the tracer into the context.

@@ -199,9 +199,22 @@ func (cp *Compiler) CompileCtx(ctx context.Context, phys *circuit.Circuit) (*Res
 	root.SetAttr("qubits", phys.NumQubits)
 	defer root.End()
 
+	// Per-stage wall-clock distribution (ms) and live stage events. Both
+	// are nil-safe no-ops with a bare context; stageDone fires once per
+	// pipeline stage, so its cost is negligible against the stage itself.
+	stageMs := obs.MetricsFrom(ctx).HistogramVec(obs.StageMetric, obs.LatencyBuckets, "stage")
+	events := obs.EventsFrom(ctx)
+	stageDone := func(stage string, began time.Time) {
+		d := time.Since(began)
+		stageMs.WithLabelValues(stage).Observe(float64(d) / float64(time.Millisecond))
+		events.PublishStage(stage, d)
+	}
+
 	if cp.Cfg.Commute {
 		_, span := obs.StartSpan(ctx, "paqoc.commute")
+		t0 := time.Now()
 		phys = commute.Canonicalize(phys)
+		stageDone("commute", t0)
 		span.End()
 	}
 
@@ -209,8 +222,10 @@ func (cp *Compiler) CompileCtx(ctx context.Context, phys *circuit.Circuit) (*Res
 	selections := cp.Cfg.Preselected
 	if selections == nil && cp.Cfg.M != 0 {
 		mctx, span := obs.StartSpan(ctx, "paqoc.mine")
+		t0 := time.Now()
 		patterns := mining.MineCtx(mctx, phys, cp.miningOpts())
 		selections = mining.Select(phys, patterns, cp.Cfg.M, cp.Cfg.MinSupport)
+		stageDone("mine", t0)
 		span.SetAttr("patterns", len(patterns))
 		span.SetAttr("selections", len(selections))
 		span.End()
@@ -219,6 +234,7 @@ func (cp *Compiler) CompileCtx(ctx context.Context, phys *circuit.Circuit) (*Res
 
 	// ── Initial block circuit with analytical latencies ───────────────
 	ibctx, ibSpan := obs.StartSpan(ctx, "paqoc.initial_blocks")
+	t0 := time.Now()
 	bc, err := critical.FromCircuit(phys, func(cg *pulse.CustomGate) (float64, error) {
 		g, err := cp.Ranker.GenerateCtx(ibctx, cg, cp.Cfg.FidelityTarget)
 		if err != nil {
@@ -226,6 +242,7 @@ func (cp *Compiler) CompileCtx(ctx context.Context, phys *circuit.Circuit) (*Res
 		}
 		return g.Latency, nil
 	})
+	stageDone("initial_blocks", t0)
 	ibSpan.End()
 	if err != nil {
 		return nil, err
@@ -233,7 +250,9 @@ func (cp *Compiler) CompileCtx(ctx context.Context, phys *circuit.Circuit) (*Res
 	res.InitialLatency = bc.CriticalPath()
 
 	apaCtx, apaSpan := obs.StartSpan(ctx, "paqoc.apply_apa")
+	t0 = time.Now()
 	err = cp.applyAPA(apaCtx, bc, selections)
+	stageDone("apply_apa", t0)
 	apaSpan.End()
 	if err != nil {
 		return nil, err
@@ -241,7 +260,9 @@ func (cp *Compiler) CompileCtx(ctx context.Context, phys *circuit.Circuit) (*Res
 
 	// ── Criticality-aware customized gates generator (Algorithm 1) ────
 	octx, optSpan := obs.StartSpan(ctx, "paqoc.optimize")
+	t0 = time.Now()
 	iters, err := cp.optimize(octx, bc)
+	stageDone("optimize", t0)
 	optSpan.SetAttr("iterations", iters)
 	optSpan.End()
 	if err != nil {
@@ -255,6 +276,7 @@ func (cp *Compiler) CompileCtx(ctx context.Context, phys *circuit.Circuit) (*Res
 	// writes only its own block; the shared pulse database deduplicates
 	// concurrent generations of the same unitary. ──────────────────────
 	ectx, emitSpan := obs.StartSpan(ctx, "paqoc.emit")
+	t0 = time.Now()
 	emitted := obs.MetricsFrom(ctx).Counter("paqoc.emit.blocks")
 	emitSpan.SetAttr("workers", cp.workers())
 	// APA-basis pulses are the offline investment of §V-C: when the
@@ -297,6 +319,7 @@ func (cp *Compiler) CompileCtx(ctx context.Context, phys *circuit.Circuit) (*Res
 			return nil, err
 		}
 	}
+	stageDone("emit", t0)
 	emitSpan.End()
 	// Cost accounting in block order — the same order the serial loops
 	// summed in, so totals are bit-identical at workers=1 and

@@ -5,6 +5,7 @@ import (
 	"hash/maphash"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"paqoc/internal/linalg"
 	"paqoc/internal/obs"
@@ -56,6 +57,13 @@ type DB struct {
 	// metrics optionally receives pulse.* counters (nearest_scanned,
 	// nearest_pruned, evictions, save_skipped_nonfinite). Nil-safe.
 	metrics atomic.Pointer[obs.Registry]
+
+	// lookupMs/storeMs cache the db_lookup/db_store children of the shared
+	// per-stage latency histogram (obs.StageMetric), resolved once in
+	// SetMetrics so the hot paths skip the registry and family maps. Nil
+	// (no-op, no timing) when no registry is attached.
+	lookupMs atomic.Pointer[obs.Histogram]
+	storeMs  atomic.Pointer[obs.Histogram]
 
 	hits      atomic.Int64
 	misses    atomic.Int64
@@ -136,9 +144,26 @@ func shardIndex(key string) int {
 
 func (db *DB) shard(key string) *shard { return &db.shards[shardIndex(key)] }
 
-// SetMetrics attaches a registry for the pulse.* counters. Safe to call
-// concurrently; a nil registry detaches.
-func (db *DB) SetMetrics(reg *obs.Registry) { db.metrics.Store(reg) }
+// SetMetrics attaches a registry for the pulse.* counters and the
+// db_lookup/db_store latency histograms. Safe to call concurrently; a nil
+// registry detaches.
+func (db *DB) SetMetrics(reg *obs.Registry) {
+	db.metrics.Store(reg)
+	if reg == nil {
+		db.lookupMs.Store(nil)
+		db.storeMs.Store(nil)
+		return
+	}
+	stage := reg.HistogramVec(obs.StageMetric, obs.LatencyBuckets, "stage")
+	db.lookupMs.Store(stage.WithLabelValues("db_lookup"))
+	db.storeMs.Store(stage.WithLabelValues("db_store"))
+}
+
+// observeSince records elapsed wall time in milliseconds on a cached stage
+// histogram child.
+func observeSince(h *obs.Histogram, start time.Time) {
+	h.Observe(float64(time.Since(start)) / float64(time.Millisecond))
+}
 
 // counter resolves a named counter on the attached registry (nil-safe:
 // increments vanish when no registry is attached).
@@ -204,6 +229,9 @@ func (db *DB) get(key string) *Entry {
 // the stored *schedule* (not just its latency) must remap control channels
 // accordingly — see grape.Generator. perm is nil on exact hits.
 func (db *DB) Lookup(u *linalg.Matrix) (gen *Generated, perm []int, ok bool) {
+	if h := db.lookupMs.Load(); h != nil {
+		defer observeSince(h, time.Now())
+	}
 	if e := db.get(CanonicalKey(u)); e != nil {
 		db.hits.Add(1)
 		e.uses.Add(1)
@@ -229,6 +257,10 @@ func (db *DB) Store(u *linalg.Matrix, g *Generated) {
 // store inserts an entry (optionally protected from eviction), indexes it
 // for similarity search, and applies the capacity bound.
 func (db *DB) store(u *linalg.Matrix, g *Generated, protected bool) {
+	var start time.Time
+	if db.storeMs.Load() != nil {
+		start = time.Now()
+	}
 	key := CanonicalKey(u)
 	s := db.shard(key)
 	s.mu.Lock()
@@ -247,6 +279,9 @@ func (db *DB) store(u *linalg.Matrix, g *Generated, protected bool) {
 	db.dimIndex(u.Rows).insert(e)
 	db.count.Add(1)
 	db.maybeEvict()
+	if h := db.storeMs.Load(); h != nil {
+		observeSince(h, start)
+	}
 }
 
 // Protect marks the stored entry for u (if any) as precious: the ranked
@@ -309,8 +344,18 @@ func (db *DB) do(u *linalg.Matrix, usePerms bool, generate func() (*Generated, e
 	lockSet := db.lockSet(key, permKeys)
 	waited := false
 	for {
-		// Fast path: read-locked hit checks, one shard at a time.
-		if g, perm, oc, ok := db.tryHit(key, permKeys, waited); ok {
+		// Fast path: read-locked hit checks, one shard at a time. Timed as
+		// db_lookup on the shared stage histogram when metrics are attached.
+		var lookupStart time.Time
+		h := db.lookupMs.Load()
+		if h != nil {
+			lookupStart = time.Now()
+		}
+		g, perm, oc, ok := db.tryHit(key, permKeys, waited)
+		if h != nil {
+			observeSince(h, lookupStart)
+		}
+		if ok {
 			return g, perm, oc, nil
 		}
 

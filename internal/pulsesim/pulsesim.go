@@ -14,6 +14,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"paqoc/internal/hamiltonian"
 	"paqoc/internal/linalg"
@@ -54,6 +55,13 @@ func EvolveCtx(ctx context.Context, sys *hamiltonian.System, sched *pulse.Schedu
 	reg := obs.MetricsFrom(ctx)
 	reg.Counter("pulsesim.slices").Add(int64(n))
 	reg.Counter("pulsesim.expm").Add(int64(n))
+	if reg != nil {
+		stage := reg.HistogramVec(obs.StageMetric, obs.LatencyBuckets, "stage").WithLabelValues("pulsesim")
+		start := time.Now()
+		defer func() {
+			stage.Observe(float64(time.Since(start)) / float64(time.Millisecond))
+		}()
+	}
 	u := linalg.Identity(sys.Dim)
 	uNext := linalg.New(sys.Dim, sys.Dim)
 	prop := linalg.New(sys.Dim, sys.Dim)

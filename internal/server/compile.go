@@ -128,13 +128,21 @@ func (s *Server) compile(ctx context.Context, j *Job) (*Result, error) {
 	tracer := obs.NewTracer()
 	o := &obs.Obs{Metrics: s.reg, Tracer: tracer}
 	ctx = o.Attach(ctx)
+	// The job's event ring and a job-scoped logger ride the context into
+	// the pipeline: paqoc stages and GRAPE convergence samples publish to
+	// the ring (served live by GET /v1/jobs/{id}/events), and pipeline code
+	// can log with the job_id field already bound.
+	ctx = obs.WithEvents(ctx, j.events)
+	ctx = obs.WithLogger(ctx, s.cfg.Logger.With("job_id", j.ID))
 	ctx, span := obs.StartSpan(ctx, "server.job")
 	span.SetAttr("job", j.ID)
 
 	req := j.req
 	logical := j.logical
 	_, routeSpan := obs.StartSpan(ctx, "server.route")
+	routeStart := time.Now()
 	phys, routeRes, err := transpile.ToPhysical(logical, s.topo, route.DefaultOptions())
+	j.events.PublishStage("route", time.Since(routeStart))
 	routeSpan.End()
 	if err != nil {
 		span.End()

@@ -3,13 +3,16 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
+	"paqoc/internal/obs"
 	"paqoc/internal/pulse"
 )
 
@@ -151,11 +154,84 @@ func TestE2EDeadlineExceeded(t *testing.T) {
 	}
 }
 
+// TestE2ELiveCompileTelemetry drives a real GRAPE compile and checks the
+// full telemetry surface: the SSE stream delivers at least one stage event
+// and one convergence event before the terminal event, the shared
+// registry's per-stage histograms report non-zero quantiles afterwards,
+// and GET /metrics?format=prom serves the histogram triplets.
+func TestE2ELiveCompileTelemetry(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2, GridRows: 1, GridCols: 2})
+	code, out := postCompile(t, ts, Request{Circuit: tinyCircuit, Grape: true, Mode: "async", TimeoutMs: 120_000})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d: %+v", code, out.Status)
+	}
+	frames := getSSE(t, ts, out.JobID)
+	stages, convs := checkSSEStream(t, frames, string(StateDone))
+	if stages == 0 || convs == 0 {
+		t.Fatalf("live stream delivered %d stage and %d convergence events, want >= 1 of each", stages, convs)
+	}
+
+	// The pipeline populated the shared per-stage histogram family with
+	// real wall times: quantiles must be non-zero wherever samples landed.
+	snap := s.reg.Snapshot()
+	fam, ok := snap.HistogramVecs[obs.StageMetric]
+	if !ok {
+		t.Fatalf("%s missing from the registry snapshot", obs.StageMetric)
+	}
+	seen := map[string]bool{}
+	for _, se := range fam.Series {
+		if se.Count == 0 {
+			continue
+		}
+		seen[se.Values[0]] = true
+		if se.P50 <= 0 || se.P99 <= 0 || se.P99 < se.P50 {
+			t.Errorf("stage %q: p50=%g p99=%g (count=%d), want 0 < p50 <= p99", se.Values[0], se.P50, se.P99, se.Count)
+		}
+	}
+	for _, stage := range []string{"optimize", "emit", "grape"} {
+		if !seen[stage] {
+			t.Errorf("no %q samples in %s after a GRAPE compile", stage, obs.StageMetric)
+		}
+	}
+	if qw := snap.Histograms["server.queue_wait_ms"]; qw.Count == 0 {
+		t.Error("server.queue_wait_ms recorded nothing")
+	}
+	if jm, ok := snap.HistogramVecs["server.job_ms"]; !ok || len(jm.Series) == 0 {
+		t.Error("server.job_ms family empty")
+	}
+
+	// The same data must scrape in Prometheus text exposition format.
+	resp, err := http.Get(ts.URL + "/metrics?format=prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("prom Content-Type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# TYPE paqoc_stage_ms histogram",
+		`paqoc_stage_ms_bucket{stage="grape",le="+Inf"}`,
+		`paqoc_stage_ms_sum{stage="grape"}`,
+		`paqoc_stage_ms_count{stage="grape"}`,
+		"# TYPE server_job_ms histogram",
+		"# TYPE runtime_goroutines gauge",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("prom exposition missing %q", want)
+		}
+	}
+}
+
 // TestE2EShutdownPersistsDB: graceful shutdown saves the warm database
 // crash-safely, and a new server starts warm from the file.
 func TestE2EShutdownPersistsDB(t *testing.T) {
 	dbPath := filepath.Join(t.TempDir(), "pulses.db")
-	cfg := Config{Workers: 2, GridRows: 1, GridCols: 2, DBPath: dbPath, Logf: quiet}
+	cfg := Config{Workers: 2, GridRows: 1, GridCols: 2, DBPath: dbPath, Logger: quiet}
 	s, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)

@@ -15,16 +15,20 @@ const maxBodyBytes = 8 << 20
 
 // Handler returns the service's HTTP API:
 //
-//	POST /v1/compile   compile a circuit (sync for small circuits, else 202 + job ID)
-//	GET  /v1/jobs/{id} job status and result
-//	GET  /healthz      liveness
-//	GET  /readyz       readiness (503 while draining)
-//	GET  /metrics      metrics registry snapshot (?format=text for a table)
-//	     /debug/pprof  the standard profiling endpoints (Config.EnablePprof)
+//	POST /v1/compile          compile a circuit (sync for small circuits, else 202 + job ID)
+//	GET  /v1/jobs/{id}        job status and result
+//	GET  /v1/jobs/{id}/events live job stream (Server-Sent Events): stage
+//	                          transitions, sampled GRAPE convergence, state changes
+//	GET  /healthz             liveness
+//	GET  /readyz              readiness (503 while draining)
+//	GET  /metrics             metrics snapshot (?format=text for a table,
+//	                          ?format=prom for Prometheus text exposition)
+//	     /debug/pprof         the standard profiling endpoints (Config.EnablePprof)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/compile", s.handleCompile)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -92,6 +96,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
+	s.cfg.Logger.Info("job queued", "job_id", j.ID, "gates", len(logical.Gates), "sync", sync)
 
 	if !sync {
 		s.reg.Counter("server.requests_async").Inc()
@@ -138,14 +143,20 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap := s.reg.Snapshot()
-	if r.URL.Query().Get("format") == "text" {
+	switch r.URL.Query().Get("format") {
+	case "text":
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		snap.WriteText(w)
-		return
-	}
-	w.Header().Set("Content-Type", "application/json")
-	if err := snap.WriteJSON(w); err != nil {
-		s.cfg.Logf("metrics: %v", err)
+	case "prom":
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := snap.WritePrometheus(w); err != nil {
+			s.cfg.Logger.Error("metrics exposition failed", "error", err)
+		}
+	default:
+		w.Header().Set("Content-Type", "application/json")
+		if err := snap.WriteJSON(w); err != nil {
+			s.cfg.Logger.Error("metrics encoding failed", "error", err)
+		}
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"paqoc/internal/circuit"
+	"paqoc/internal/obs"
 )
 
 // JobState is the lifecycle of a compilation job. Transitions are strictly
@@ -44,6 +45,12 @@ type Job struct {
 	// done is closed exactly once when the job reaches a terminal state;
 	// synchronous requests and pollers block on it.
 	done chan struct{}
+
+	// events is the job's bounded live stream: stage transitions, sampled
+	// GRAPE convergence points, and state changes, served by
+	// GET /v1/jobs/{id}/events. Closed when the job reaches a terminal
+	// state so subscribers see a clean end of stream.
+	events *obs.EventRing
 }
 
 func (j *Job) start() {
@@ -51,6 +58,7 @@ func (j *Job) start() {
 	j.state = StateRunning
 	j.started = time.Now()
 	j.mu.Unlock()
+	j.events.PublishState(string(StateRunning), "")
 }
 
 // finish moves the job to its terminal state and releases waiters.
@@ -66,7 +74,10 @@ func (j *Job) finish(res *Result, err error, timedOut, canceled bool) {
 		j.state = StateDone
 		j.result = res
 	}
+	state, errMsg := string(j.state), j.errMsg
 	j.mu.Unlock()
+	j.events.PublishState(state, errMsg)
+	j.events.Close()
 	close(j.done)
 }
 
@@ -130,10 +141,14 @@ func newJobStore(retain int) *jobStore {
 	return &jobStore{jobs: make(map[string]*Job), retain: retain}
 }
 
+// jobEventCapacity bounds each job's event ring: enough for every stage
+// transition plus a sampled convergence curve per customized gate; beyond
+// it the oldest events roll off.
+const jobEventCapacity = 512
+
 // add creates and registers a queued job for an already-parsed request.
 func (s *jobStore) add(req *Request, logical *circuit.Circuit, timeout time.Duration) *Job {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.seq++
 	j := &Job{
 		ID:        fmt.Sprintf("job-%06d", s.seq),
@@ -143,8 +158,11 @@ func (s *jobStore) add(req *Request, logical *circuit.Circuit, timeout time.Dura
 		state:     StateQueued,
 		submitted: time.Now(),
 		done:      make(chan struct{}),
+		events:    obs.NewEventRing(jobEventCapacity),
 	}
 	s.jobs[j.ID] = j
+	s.mu.Unlock()
+	j.events.PublishState(string(StateQueued), "")
 	return j
 }
 
@@ -165,14 +183,18 @@ func (s *jobStore) remove(id string) {
 	delete(s.jobs, id)
 }
 
-// retired records a terminal job for eviction and drops the oldest
-// terminal jobs beyond the retention cap.
-func (s *jobStore) retired(j *Job) {
+// retired records a terminal job for eviction, drops the oldest terminal
+// jobs beyond the retention cap, and returns the evicted job IDs so the
+// caller can log each eviction once.
+func (s *jobStore) retired(j *Job) []string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.retire = append(s.retire, j.ID)
+	var evicted []string
 	for len(s.retire) > s.retain {
+		evicted = append(evicted, s.retire[0])
 		delete(s.jobs, s.retire[0])
 		s.retire = s.retire[1:]
 	}
+	return evicted
 }

@@ -21,7 +21,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"log"
 	"runtime"
 	"runtime/debug"
 	"sync"
@@ -85,9 +84,11 @@ type Config struct {
 	JobRetention int
 	// RetryAfter is the hint sent with 429 responses (default 1s).
 	RetryAfter time.Duration
-	// Logf receives service logs (default log.Printf; set to a no-op in
-	// tests).
-	Logf func(format string, args ...any)
+	// Logger receives structured service logs (default: JSON lines on
+	// stderr at info level; tests pass obs.NewLogger(io.Discard, ...)).
+	// Every job lifecycle transition — queued, running, done/failed,
+	// evicted — is logged exactly once with a job_id field.
+	Logger *obs.Logger
 }
 
 func (c *Config) fill() {
@@ -124,8 +125,8 @@ func (c *Config) fill() {
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
 	}
-	if c.Logf == nil {
-		c.Logf = log.Printf
+	if c.Logger == nil {
+		c.Logger = obs.NewStderrLogger(obs.LevelInfo)
 	}
 }
 
@@ -167,7 +168,7 @@ func New(cfg Config) (*Server, error) {
 		}
 		db = loaded
 		if ok {
-			cfg.Logf("pulse DB: loaded %d entries from %s", db.Len(), cfg.DBPath)
+			cfg.Logger.Info("pulse DB loaded", "entries", db.Len(), "path", cfg.DBPath)
 		}
 	}
 	ctx, cancel := context.WithCancel(context.Background())
@@ -184,6 +185,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.compileFn = s.compile
 	preregisterMetrics(s.reg)
+	obs.RegisterRuntimeCollector(s.reg)
 	// The shared DB reports its own counters (nearest scan/prune split,
 	// evictions, snapshot skips) into the server registry.
 	db.SetMetrics(s.reg)
@@ -254,6 +256,9 @@ func (s *Server) runJob(j *Job) {
 	ctx, cancel := context.WithTimeout(s.baseCtx, j.timeout)
 	defer cancel()
 	j.start()
+	queueWait := msSince(j.submitted, j.started)
+	s.reg.Histogram("server.queue_wait_ms", obs.LatencyBuckets).Observe(queueWait)
+	s.cfg.Logger.Info("job running", "job_id", j.ID, "queue_wait_ms", queueWait)
 	res, err := s.safeCompile(ctx, j)
 
 	// Classify from the returned error chain, not ctx.Err(): the pipeline
@@ -262,19 +267,35 @@ func (s *Server) runJob(j *Job) {
 	// surface as a failure (422), not be misread as a timeout or drain.
 	timedOut := errors.Is(err, context.DeadlineExceeded)
 	canceled := !timedOut && errors.Is(err, context.Canceled)
+	outcome := "ok"
 	switch {
 	case err == nil:
 		s.reg.Counter("server.jobs_completed").Inc()
 	case timedOut:
+		outcome = "timeout"
 		s.reg.Counter("server.jobs_timeout").Inc()
+	case canceled:
+		outcome = "canceled"
+		s.reg.Counter("server.jobs_failed").Inc()
 	default:
+		outcome = "failed"
 		s.reg.Counter("server.jobs_failed").Inc()
 	}
-	if err != nil {
-		s.cfg.Logf("job %s failed (timeout=%v): %v", j.ID, timedOut, err)
-	}
 	j.finish(res, err, timedOut, canceled)
-	s.jobs.retired(j)
+	// End-to-end latency (submit → terminal) by outcome; run time alone is
+	// the job status's run_ms.
+	runMs := msSince(j.started, j.finished)
+	s.reg.HistogramVec("server.job_ms", obs.LatencyBuckets, "outcome").
+		WithLabelValues(outcome).
+		Observe(msSince(j.submitted, j.finished))
+	if err != nil {
+		s.cfg.Logger.Error("job failed", "job_id", j.ID, "outcome", outcome, "run_ms", runMs, "error", err)
+	} else {
+		s.cfg.Logger.Info("job done", "job_id", j.ID, "run_ms", runMs)
+	}
+	for _, id := range s.jobs.retired(j) {
+		s.cfg.Logger.Info("job evicted", "job_id", id)
+	}
 }
 
 // safeCompile isolates panics: one bad circuit must not take down the
@@ -302,7 +323,7 @@ func (s *Server) snapshotter() {
 		case <-tick.C:
 			if n := s.db.Len(); n != lastSaved {
 				if err := s.saveDB(); err != nil {
-					s.cfg.Logf("pulse DB snapshot: %v", err)
+					s.cfg.Logger.Error("pulse DB snapshot failed", "error", err)
 					continue
 				}
 				lastSaved = n
@@ -327,9 +348,9 @@ func (s *Server) saveDB() error {
 	}
 	s.reg.Counter("server.db_snapshots").Inc()
 	if rep.SkippedNonFinite > 0 {
-		s.cfg.Logf("pulse DB: snapshot skipped %d non-finite entries", rep.SkippedNonFinite)
+		s.cfg.Logger.Warn("pulse DB snapshot skipped non-finite entries", "skipped", rep.SkippedNonFinite)
 	}
-	s.cfg.Logf("pulse DB: saved %d entries to %s", rep.Entries, s.cfg.DBPath)
+	s.cfg.Logger.Info("pulse DB saved", "entries", rep.Entries, "path", s.cfg.DBPath)
 	return nil
 }
 
@@ -400,6 +421,7 @@ func preregisterMetrics(r *obs.Registry) {
 	} {
 		r.Counter(name)
 	}
+	r.Counter("obs.convergence_dropped")
 	for _, name := range []string{
 		"server.queue_len", "server.queue_capacity", "server.workers",
 		"server.jobs_running",
@@ -407,5 +429,29 @@ func preregisterMetrics(r *obs.Registry) {
 		"engine.queued", "engine.queued.peak",
 	} {
 		r.Gauge(name)
+	}
+	// Latency distributions: stable schema from the first scrape, and one
+	// place that fixes each family's label set and bucket layout.
+	r.Histogram("server.queue_wait_ms", obs.LatencyBuckets)
+	r.Histogram("engine.task_ms", obs.LatencyBuckets)
+	r.HistogramVec("server.job_ms", obs.LatencyBuckets, "outcome")
+	r.HistogramVec(obs.StageMetric, obs.LatencyBuckets, "stage")
+
+	for name, help := range map[string]string{
+		"server.queue_wait_ms":       "Time jobs spent queued before a worker picked them up, milliseconds.",
+		"server.job_ms":              "End-to-end job latency (submit to terminal state) by outcome, milliseconds.",
+		obs.StageMetric:              "Per-pipeline-stage wall clock by stage, milliseconds.",
+		"engine.task_ms":             "Worker-pool task wall clock, milliseconds.",
+		"server.jobs_completed":      "Jobs that reached the done state.",
+		"server.jobs_failed":         "Jobs that failed (including cancellations).",
+		"server.jobs_timeout":        "Jobs that exceeded their deadline.",
+		"server.rejected_queue_full": "Compile requests rejected because the job queue was full.",
+		"server.queue_len":           "Jobs currently queued.",
+		"server.jobs_running":        "Jobs currently executing.",
+		"obs.convergence_dropped":    "GRAPE convergence-trace points discarded by the per-optimization cap.",
+		"grape.iterations":           "GRAPE optimizer iterations executed.",
+		"pulse.db_dedups":            "Generator runs avoided by singleflight coalescing on the pulse DB.",
+	} {
+		r.SetHelp(name, help)
 	}
 }

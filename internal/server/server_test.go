@@ -5,22 +5,25 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
+
+	"paqoc/internal/obs"
 )
 
-// quiet silences service logs in tests (t.Logf is unsafe from job
-// goroutines that may outlive a failing test).
-func quiet(string, ...any) {}
+// quiet silences service logs in tests (writing to the test log is unsafe
+// from job goroutines that may outlive a failing test).
+var quiet = obs.NewLogger(io.Discard, obs.LevelError)
 
 // newTestServer builds and starts a server with test-friendly defaults.
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	if cfg.Logf == nil {
-		cfg.Logf = quiet
+	if cfg.Logger == nil {
+		cfg.Logger = quiet
 	}
 	s, err := New(cfg)
 	if err != nil {
@@ -228,7 +231,7 @@ func TestHealthAndReady(t *testing.T) {
 // TestDrainRefusesNewWork: after Shutdown begins, readyz serves 503 and
 // compile requests are refused with 503.
 func TestDrainRefusesNewWork(t *testing.T) {
-	cfg := Config{Workers: 1, Logf: quiet}
+	cfg := Config{Workers: 1, Logger: quiet}
 	s, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -264,7 +267,7 @@ func TestDrainRefusesNewWork(t *testing.T) {
 // cancellation is cancelled when the drain deadline passes, and Shutdown
 // reports the missed deadline.
 func TestDrainDeadlineCancelsStragglers(t *testing.T) {
-	cfg := Config{Workers: 1, Logf: quiet}
+	cfg := Config{Workers: 1, Logger: quiet}
 	s, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -296,7 +299,7 @@ func TestDrainDeadlineCancelsStragglers(t *testing.T) {
 
 // TestSubmitDirectQueueFull exercises Submit without HTTP.
 func TestSubmitDirectQueueFull(t *testing.T) {
-	cfg := Config{Workers: 1, QueueDepth: 1, Logf: quiet}
+	cfg := Config{Workers: 1, QueueDepth: 1, Logger: quiet}
 	s, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)

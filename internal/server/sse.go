@@ -1,0 +1,79 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"paqoc/internal/obs"
+)
+
+// handleJobEvents streams a job's event ring as Server-Sent Events:
+//
+//	id: <seq>
+//	event: stage | convergence | state
+//	data: <obs.Event as JSON>
+//
+// The retained history is replayed first (a subscriber joining mid-job
+// sees every stage it missed, up to the ring's capacity), then live
+// events as they happen. When the job reaches a terminal state the stream
+// ends with an "event: done" sentinel and a clean close — clients consume
+// it with `curl -N` or EventSource. Jobs past retention return 404.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	// Subscribe before writing headers: history and the live channel are
+	// taken atomically, so no event falls between replay and stream.
+	history, live, cancel := j.events.Subscribe(128)
+	defer cancel()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	for _, ev := range history {
+		if writeSSE(w, ev) != nil {
+			return
+		}
+	}
+	flusher.Flush()
+
+	for {
+		select {
+		case ev, open := <-live:
+			if !open {
+				// The ring closed: the job is terminal and every event has
+				// been delivered.
+				fmt.Fprint(w, "event: done\ndata: {}\n\n")
+				flusher.Flush()
+				return
+			}
+			if writeSSE(w, ev) != nil {
+				return
+			}
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// writeSSE renders one event as an SSE frame.
+func writeSSE(w io.Writer, ev obs.Event) error {
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data)
+	return err
+}

@@ -1,0 +1,239 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"paqoc/internal/obs"
+)
+
+// sseFrame is one parsed Server-Sent Events frame.
+type sseFrame struct {
+	id    string
+	event string
+	data  string
+}
+
+// readSSE parses frames off an event stream until the terminal "done"
+// sentinel (or EOF / read error, returning what was seen).
+func readSSE(t *testing.T, rc io.Reader) []sseFrame {
+	t.Helper()
+	var frames []sseFrame
+	var cur sseFrame
+	sc := bufio.NewScanner(rc)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			frames = append(frames, cur)
+			if cur.event == "done" {
+				return frames
+			}
+			cur = sseFrame{}
+		case strings.HasPrefix(line, "id: "):
+			cur.id = strings.TrimPrefix(line, "id: ")
+		case strings.HasPrefix(line, "event: "):
+			cur.event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			cur.data = strings.TrimPrefix(line, "data: ")
+		}
+	}
+	return frames
+}
+
+// getSSE opens the event stream for a job and parses it to completion.
+func getSSE(t *testing.T, ts *httptest.Server, jobID string) []sseFrame {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, "GET", ts.URL+"/v1/jobs/"+jobID+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events status = %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q, want text/event-stream", ct)
+	}
+	return readSSE(t, resp.Body)
+}
+
+// checkSSEStream asserts the invariants every complete job stream must
+// satisfy: strictly increasing ids, at least one stage event, a terminal
+// state event, and the done sentinel last. Returns the count of stage and
+// convergence events seen before the terminal state event.
+func checkSSEStream(t *testing.T, frames []sseFrame, wantState string) (stages, convs int) {
+	t.Helper()
+	if len(frames) == 0 {
+		t.Fatal("empty stream")
+	}
+	if last := frames[len(frames)-1]; last.event != "done" {
+		t.Fatalf("stream must end with the done sentinel, got %+v", last)
+	}
+	lastSeq := uint64(0)
+	terminalSeen := false
+	for _, f := range frames[:len(frames)-1] {
+		seq, err := strconv.ParseUint(f.id, 10, 64)
+		if err != nil || seq <= lastSeq {
+			t.Fatalf("ids not strictly increasing: %q after %d", f.id, lastSeq)
+		}
+		lastSeq = seq
+		var ev obs.Event
+		if err := json.Unmarshal([]byte(f.data), &ev); err != nil {
+			t.Fatalf("frame data is not an obs.Event: %v\n%s", err, f.data)
+		}
+		if ev.Type != f.event {
+			t.Errorf("frame event %q disagrees with payload type %q", f.event, ev.Type)
+		}
+		if terminalSeen {
+			t.Errorf("event after terminal state: %+v", f)
+		}
+		switch f.event {
+		case obs.EventStage:
+			stages++
+		case obs.EventConvergence:
+			convs++
+		case obs.EventState:
+			if ev.State == wantState || ev.State == string(StateFailed) {
+				terminalSeen = true
+				if ev.State != wantState {
+					t.Fatalf("job ended %q (%s), want %q", ev.State, ev.Err, wantState)
+				}
+			}
+		}
+	}
+	if !terminalSeen {
+		t.Error("no terminal state event before done sentinel")
+	}
+	return stages, convs
+}
+
+// TestSSESubscribeMidJob subscribes while the job is still running and
+// checks the replay + live split delivers every event exactly once, in
+// order, with a clean close.
+func TestSSESubscribeMidJob(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	started := make(chan struct{})
+	release := make(chan struct{})
+	s.compileFn = func(ctx context.Context, j *Job) (*Result, error) {
+		j.events.PublishStage("route", time.Millisecond)
+		close(started)
+		<-release
+		j.events.PublishConvergence("CZ q0 q1", obs.ConvergencePoint{Iter: 25, Fidelity: 0.995, GradNorm: 1e-3})
+		j.events.PublishStage("optimize", 2*time.Millisecond)
+		return &Result{}, nil
+	}
+
+	code, out := postCompile(t, ts, Request{Circuit: tinyCircuit, Mode: "async"})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit = %d, want 202", code)
+	}
+	<-started // job mid-flight: route already published, optimize pending
+
+	framesCh := make(chan []sseFrame, 1)
+	go func() { framesCh <- getSSE(t, ts, out.JobID) }()
+	// Give the subscriber a moment to attach mid-job, then let the job end.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+
+	frames := <-framesCh
+	stages, convs := checkSSEStream(t, frames, string(StateDone))
+	if stages != 2 {
+		t.Errorf("stage events = %d, want 2 (route replayed, optimize live)", stages)
+	}
+	if convs != 1 {
+		t.Errorf("convergence events = %d, want 1", convs)
+	}
+}
+
+// TestSSEAfterCompletion: a subscriber arriving after the job finished
+// still gets the full history followed by an immediate clean close.
+func TestSSEAfterCompletion(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	s.compileFn = func(ctx context.Context, j *Job) (*Result, error) {
+		j.events.PublishStage("emit", time.Millisecond)
+		return &Result{}, nil
+	}
+	code, out := postCompile(t, ts, Request{Circuit: tinyCircuit, Mode: "sync"})
+	if code != http.StatusOK {
+		t.Fatalf("sync compile = %d, want 200", code)
+	}
+	frames := getSSE(t, ts, out.JobID)
+	stages, _ := checkSSEStream(t, frames, string(StateDone))
+	if stages != 1 {
+		t.Errorf("replayed stage events = %d, want 1", stages)
+	}
+}
+
+func TestSSEUnknownAndEvictedJob(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, JobRetention: 1})
+	s.compileFn = func(ctx context.Context, j *Job) (*Result, error) {
+		return &Result{}, nil
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/job-999999/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job events = %d, want 404", resp.StatusCode)
+	}
+
+	// Retention 1: finishing a second job evicts the first.
+	_, first := postCompile(t, ts, Request{Circuit: tinyCircuit, Mode: "sync"})
+	_, _ = postCompile(t, ts, Request{Circuit: tinyCircuit, Mode: "sync"})
+	resp, err = http.Get(ts.URL + "/v1/jobs/" + first.JobID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("evicted job events = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestSSEFailedJobCarriesError: the terminal state event of a failed job
+// carries the failure message.
+func TestSSEFailedJobCarriesError(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	s.compileFn = func(ctx context.Context, j *Job) (*Result, error) {
+		return nil, context.DeadlineExceeded
+	}
+	code, out := postCompile(t, ts, Request{Circuit: tinyCircuit, Mode: "sync"})
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("failed compile = %d, want 504", code)
+	}
+	frames := getSSE(t, ts, out.JobID)
+	var sawFailure bool
+	for _, f := range frames {
+		if f.event != obs.EventState {
+			continue
+		}
+		var ev obs.Event
+		if err := json.Unmarshal([]byte(f.data), &ev); err != nil {
+			t.Fatal(err)
+		}
+		if ev.State == string(StateFailed) && ev.Err != "" {
+			sawFailure = true
+		}
+	}
+	if !sawFailure {
+		t.Errorf("no failed state event with error message in %+v", frames)
+	}
+}
