@@ -361,6 +361,29 @@ func BenchmarkParallelEmit(b *testing.B) {
 	b.Run("workers-4", func(b *testing.B) { run(b, 4) })
 }
 
+// BenchmarkCrossBackend runs the full method sweep on a non-default device
+// profile end to end — routing on the heavy-hex topology, profile-derived
+// control bounds in the latency model, and a fingerprint-namespaced pulse
+// DB. CI runs it at -benchtime=1x as the cross-backend smoke test.
+func BenchmarkCrossBackend(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Backends([]string{"heavy-hex"}, []string{"rd32_270"}, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 1 || rows[0].Fingerprint == "" {
+			b.Fatalf("bad backend rows: %+v", rows)
+		}
+		for _, row := range rows[0].Rows {
+			for _, m := range row.Results {
+				if m.Latency <= 0 || m.ESP <= 0 || m.ESP > 1 {
+					b.Fatalf("%s/%s: implausible result %+v", row.Bench, m.Method, m)
+				}
+			}
+		}
+	}
+}
+
 // BenchmarkTableIINoisy regenerates the density-matrix Table II.
 func BenchmarkTableIINoisy(b *testing.B) {
 	p := experiments.DefaultPlatform()

@@ -26,6 +26,7 @@ import (
 	"strings"
 
 	"paqoc/internal/bench"
+	"paqoc/internal/device"
 	"paqoc/internal/experiments"
 	"paqoc/internal/noise"
 	"paqoc/internal/obs"
@@ -33,17 +34,24 @@ import (
 
 func main() {
 	var (
-		list    = flag.Bool("list", false, "list benchmarks and experiments")
-		benches = flag.String("benches", "", "comma-separated benchmark subset for fig10/11/12/14")
-		csv     = flag.Bool("csv", false, "emit CSV scatter data (fig6)")
-		limit   = flag.Int("fig6limit", 0, "cap the number of suite circuits used by fig6 (0 = all 150)")
-		jsonOut = flag.String("json", "", "write machine-readable per-benchmark results (sweep experiments) to this file")
-		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "per-benchmark sweep worker pool size (1 = serial)")
+		list     = flag.Bool("list", false, "list benchmarks and experiments")
+		benches  = flag.String("benches", "", "comma-separated benchmark subset for fig10/11/12/14")
+		csv      = flag.Bool("csv", false, "emit CSV scatter data (fig6)")
+		limit    = flag.Int("fig6limit", 0, "cap the number of suite circuits used by fig6 (0 = all 150)")
+		jsonOut  = flag.String("json", "", "write machine-readable per-benchmark results (sweep experiments) to this file")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "per-benchmark sweep worker pool size (1 = serial)")
+		backend  = flag.String("backend", "", "device profile for the sweeps (default: the paper's xy-grid-5x5)")
+		backends = flag.String("backends", "", "comma-separated device profiles for the backends experiment (default: every registered profile)")
 	)
 	flag.Parse()
 
 	if *list {
-		fmt.Println("experiments: fig2 fig6 fig10 fig11 fig12 fig13 fig14 table1 table2 table2noisy table2full table3 ablate kernels pulsedb all")
+		fmt.Println("experiments: fig2 fig6 fig10 fig11 fig12 fig13 fig14 table1 table2 table2noisy table2full table3 ablate kernels pulsedb backends all")
+		fmt.Println("backends:")
+		for _, name := range device.Names() {
+			prof, _ := device.Lookup(name)
+			fmt.Printf("  %-16s %s (%d qubits)\n", name, prof.Description, prof.Topology().NumQubits)
+		}
 		fmt.Println("benchmarks:")
 		for _, s := range bench.All() {
 			fmt.Printf("  %-16s %s (%d qubits)\n", s.Name, s.Description, s.Qubits)
@@ -55,6 +63,11 @@ func main() {
 	}
 
 	p := experiments.DefaultPlatform()
+	if *backend != "" {
+		prof, err := device.Lookup(*backend)
+		check(err)
+		p = experiments.PlatformFor(prof)
+	}
 	p.Workers = *workers
 	if *jsonOut != "" {
 		// Metrics only: the sweep needs counters for the JSON export, and a
@@ -139,6 +152,17 @@ func main() {
 		case "pulsedb":
 			pulseDBRecs = experiments.PulseDB()
 			experiments.PrintPulseDB(out, pulseDBRecs)
+		case "backends":
+			var names, benchNames []string
+			if *backends != "" {
+				names = splitCSV(*backends)
+			}
+			if *benches != "" {
+				benchNames = splitCSV(*benches)
+			}
+			rows, err := experiments.Backends(names, benchNames, *workers)
+			check(err)
+			experiments.PrintBackends(out, rows)
 		case "all":
 			for _, n := range []string{"table1", "fig2", "fig6"} {
 				run(n)
@@ -315,6 +339,17 @@ func writeBenchJSON(path string, rows []experiments.BenchRow, o *obs.Obs) error 
 		werr = cerr
 	}
 	return werr
+}
+
+// splitCSV trims a comma-separated flag value into its non-empty fields.
+func splitCSV(csv string) []string {
+	var out []string
+	for _, s := range strings.Split(csv, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			out = append(out, s)
+		}
+	}
+	return out
 }
 
 func selectBenches(csv string) []bench.Spec {

@@ -34,6 +34,7 @@ import (
 	"syscall"
 	"time"
 
+	"paqoc/internal/device"
 	"paqoc/internal/obs"
 	"paqoc/internal/server"
 )
@@ -57,8 +58,7 @@ func run() error {
 		maxTO     = flag.Duration("max-timeout", 10*time.Minute, "cap on client-requested deadlines")
 		snapshot  = flag.Duration("snapshot", 5*time.Minute, "pulse-DB snapshot interval (requires -db; <0 disables)")
 		drain     = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline")
-		rows      = flag.Int("rows", 5, "device grid rows")
-		cols      = flag.Int("cols", 5, "device grid cols")
+		backend   = flag.String("backend", device.DefaultName, "default device profile: a registered name or a dynamic one like xy-grid-3x4 (requests may override per job)")
 		pprofAddr = flag.String("pprof", "", "serve /debug/pprof on this separate address (e.g. localhost:6060); empty disables")
 		logLevel  = flag.String("log-level", "info", "structured-log threshold: debug, info, warn, or error")
 	)
@@ -74,8 +74,7 @@ func run() error {
 		DBPath:           *dbPath,
 		DBMaxEntries:     *dbMax,
 		SnapshotInterval: *snapshot,
-		GridRows:         *rows,
-		GridCols:         *cols,
+		Backend:          *backend,
 		Logger:           logger,
 	})
 	if err != nil {
@@ -102,7 +101,7 @@ func run() error {
 	}
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	logger.Info("serving", "addr", fmt.Sprintf("http://%s", ln.Addr()),
-		"workers", *workers, "queue", *queue, "db", *dbPath)
+		"backend", *backend, "workers", *workers, "queue", *queue, "db", *dbPath)
 
 	errCh := make(chan error, 1)
 	go func() {

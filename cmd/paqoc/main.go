@@ -9,7 +9,10 @@
 //
 // Flags select the APA knob (-m), the group width cap (-maxn), top-k, the
 // fidelity target, and whether to run real GRAPE (-grape) instead of the
-// calibrated analytical model for final pulse emission.
+// calibrated analytical model for final pulse emission. -backend picks the
+// device profile (topology, control bounds, noise) from the
+// internal/device registry; dynamic names like xy-grid-3x4 or
+// linear-chain-8 build grids and chains of any size.
 //
 // Observability: -trace <file> writes a Chrome trace-event JSON of the
 // pipeline spans (open at chrome://tracing or ui.perfetto.dev), -metrics
@@ -35,6 +38,7 @@ import (
 
 	"paqoc/internal/bench"
 	"paqoc/internal/circuit"
+	"paqoc/internal/device"
 	"paqoc/internal/grape"
 	"paqoc/internal/mining"
 	"paqoc/internal/obs"
@@ -43,7 +47,6 @@ import (
 	"paqoc/internal/qasm"
 	"paqoc/internal/route"
 	"paqoc/internal/statevec"
-	"paqoc/internal/topology"
 	"paqoc/internal/transpile"
 )
 
@@ -61,8 +64,7 @@ func run() error {
 		topK        = flag.Int("topk", 1, "merges applied per search iteration")
 		fidelity    = flag.Float64("fidelity", 0.99, "per-gate fidelity target")
 		useGrape    = flag.Bool("grape", false, "emit final pulses with the real GRAPE optimizer (slower)")
-		gridRows    = flag.Int("rows", 5, "device grid rows")
-		gridCols    = flag.Int("cols", 5, "device grid cols")
+		backend     = flag.String("backend", device.DefaultName, "device profile: a registered name (see internal/device) or a dynamic one like xy-grid-3x4, linear-chain-8, heavy-hex-2")
 		showGroups  = flag.Bool("groups", false, "print the final customized-gate grouping")
 		render      = flag.Bool("render", false, "draw the physical circuit as an ASCII wire diagram")
 		pulseJSON   = flag.String("pulse-json", "", "write per-block pulse schedules (requires -grape) to this file")
@@ -103,7 +105,11 @@ func run() error {
 		return err
 	}
 
-	topo := topology.Grid(*gridRows, *gridCols)
+	prof, err := device.Lookup(*backend)
+	if err != nil {
+		return err
+	}
+	topo := prof.Topology()
 	routeOpts := route.DefaultOptions()
 	_, routeSpan := obs.StartSpan(ctx, "transpile.route")
 	phys, routeRes, err := transpile.ToPhysical(logical, topo, routeOpts)
@@ -155,19 +161,23 @@ func run() error {
 	if *useGrape {
 		grapeGen = grape.NewGenerator(grape.DefaultOptions())
 		grapeGen.Topo = topo
+		grapeGen.System = prof.SystemBuilder()
+		grapeGen.DB.SetFingerprint(prof.Fingerprint())
 		if *dbPath != "" {
-			db, n, err := loadPulseDB(*dbPath)
+			// Pinned load: a snapshot calibrated for another backend is an
+			// error, not silently-wrong warm pulses.
+			db, ok, err := pulse.LoadFileFor(*dbPath, prof.Fingerprint())
 			if err != nil {
 				return err
 			}
-			if db != nil {
-				grapeGen.DB = db
-				fmt.Printf("pulse DB: loaded %d entries from %s\n", n, *dbPath)
+			grapeGen.DB = db
+			if ok {
+				fmt.Printf("pulse DB: loaded %d entries from %s\n", db.Len(), *dbPath)
 			}
 		}
 		gen = grapeGen
 	}
-	comp := paqoc.New(gen, topo, cfg)
+	comp := paqoc.NewForProfile(gen, prof, cfg)
 	if o != nil && o.Metrics != nil {
 		// The pulse DB emits its own counters (nearest scan/prune split,
 		// evictions) alongside the pipeline's. New defaults gen to the
@@ -187,6 +197,7 @@ func run() error {
 		fmt.Printf("pulse DB: saved %d entries to %s\n", grapeGen.DB.Len(), *dbPath)
 	}
 
+	fmt.Printf("backend:  %s (%d qubits, fingerprint %s)\n", prof.Name, topo.NumQubits, prof.Fingerprint())
 	fmt.Printf("input:    %d logical gates on %d qubits\n", len(logical.Gates), logical.NumQubits)
 	fmt.Printf("physical: %d gates after routing (%d swaps)\n", len(phys.Gates), routeRes.SwapCount)
 	fmt.Printf("output:   %d customized gates", res.NumBlocks)
@@ -306,16 +317,6 @@ func writeFileWith(path string, fn func(io.Writer) error) error {
 		return werr
 	}
 	return cerr
-}
-
-// loadPulseDB opens a pulse database file; a missing file is not an error
-// (the database starts empty and is written back after compiling).
-func loadPulseDB(path string) (*pulse.DB, int, error) {
-	db, ok, err := pulse.LoadFile(path)
-	if err != nil || !ok {
-		return nil, 0, err
-	}
-	return db, db.Len(), nil
 }
 
 // savePulseDB writes the generator's database crash-safely (temp file +

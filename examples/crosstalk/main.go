@@ -19,8 +19,11 @@ import (
 
 func main() {
 	pairs := hamiltonian.LinearChain(2)
-	noisy := hamiltonian.XYTransmon(2, pairs).
+	noisy, err := hamiltonian.XYTransmon(2, pairs).
 		WithZZCrosstalk(pairs, 3*hamiltonian.TypicalZZCrosstalk)
+	if err != nil {
+		log.Fatal(err)
+	}
 	ideal := noisy.IdealTwin()
 	target := quantum.MatCX.Clone()
 	opts := grape.DefaultOptions()

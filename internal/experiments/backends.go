@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"paqoc/internal/bench"
+	"paqoc/internal/device"
+)
+
+// BackendRow is one (backend, benchmark) cell of the cross-backend
+// comparison: the per-method sweep results plus the backend identity.
+type BackendRow struct {
+	Backend     string
+	Fingerprint string
+	Qubits      int
+	Rows        []BenchRow
+}
+
+// BackendBenches is the fast subset used by the `backends` experiment:
+// small enough to route onto every built-in profile (the 16-qubit linear
+// chain bounds the register) and quick under the analytical model.
+var BackendBenches = []string{"rd32_270", "simon", "qaoa"}
+
+// Backends sweeps the given benchmarks across device profiles, showing how
+// topology and control bounds move latency and ESP: the same circuit pays
+// more SWAPs on a sparse heavy-hex or chain, and a crosstalk-heavy grid
+// erodes ESP. Empty arguments select the built-in registry and
+// BackendBenches.
+func Backends(backendNames, benches []string, workers int) ([]BackendRow, error) {
+	if len(backendNames) == 0 {
+		backendNames = device.Names()
+	}
+	if len(benches) == 0 {
+		benches = BackendBenches
+	}
+	var specs []bench.Spec
+	for _, b := range benches {
+		s, ok := bench.ByName(b)
+		if !ok {
+			return nil, fmt.Errorf("unknown benchmark %s", b)
+		}
+		specs = append(specs, s)
+	}
+	var out []BackendRow
+	for _, name := range backendNames {
+		prof, err := device.Lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		p := PlatformFor(prof)
+		p.Workers = workers
+		rows, err := p.RunAll(specs)
+		if err != nil {
+			return nil, fmt.Errorf("backend %s: %v", name, err)
+		}
+		out = append(out, BackendRow{
+			Backend:     name,
+			Fingerprint: prof.Fingerprint(),
+			Qubits:      prof.Topology().NumQubits,
+			Rows:        rows,
+		})
+	}
+	return out, nil
+}
+
+// PrintBackends renders the cross-backend table: latency and ESP of
+// paqoc(M=0) and the accqoc(n=3,d=3) baseline per backend and benchmark.
+func PrintBackends(w io.Writer, rows []BackendRow) {
+	fmt.Fprintln(w, "Cross-backend comparison (latency dt / ESP)")
+	fmt.Fprintf(w, "%-16s %7s %-16s %10s %8s %10s %8s\n",
+		"backend", "qubits", "bench", "paqoc lat", "esp", "accqoc lat", "esp")
+	for _, br := range rows {
+		for _, row := range br.Rows {
+			pq := row.find("paqoc_m0")
+			ac := row.find("accqoc_n3d3")
+			fmt.Fprintf(w, "%-16s %7d %-16s %10.0f %8.4f %10.0f %8.4f\n",
+				br.Backend, br.Qubits, row.Bench, pq.Latency, pq.ESP, ac.Latency, ac.ESP)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"testing"
+
+	"paqoc/internal/bench"
+	"paqoc/internal/device"
+)
+
+// goldenFastFive pins the default platform's sweep results on the
+// fast-five subset, captured from the pre-profile code. Latency,
+// TotalLatency, ESP, and NumBlocks are pure functions of the circuit and
+// the analytical model, so they must match bit for bit: any drift means
+// the device-profile plumbing changed the physics of the default backend.
+// (CompileCost carries a measured wall-clock component and is not pinned.)
+var goldenFastFive = []struct {
+	bench, method         string
+	latency, totalLatency float64
+	esp                   float64
+	blocks                int
+}{
+	{"rd32_270", "accqoc_n3d3", 3482.0635062657684, 4003.620654663222, 0.75635909262046574, 48},
+	{"rd32_270", "accqoc_n3d5", 2707.3419607886935, 3087.351758403167, 0.84141555732122453, 30},
+	{"rd32_270", "paqoc_m0", 1936.1621078735498, 1936.1621078735498, 0.9295762048973496, 12},
+	{"rd32_270", "paqoc_mtuned", 1931.0451306268419, 1931.0451306268419, 0.93538299824372606, 12},
+	{"rd32_270", "paqoc_minf", 1931.0451306268419, 1931.0451306268419, 0.93538299824372606, 12},
+	{"decod24-v1_41", "accqoc_n3d3", 3290.3338312246242, 3751.7920759219414, 0.76644923387359798, 48},
+	{"decod24-v1_41", "accqoc_n3d5", 2967.9872711646694, 3360.7752960711678, 0.84972061998779669, 30},
+	{"decod24-v1_41", "paqoc_m0", 1541.9968595162759, 1548.8587031275429, 0.93279626009521022, 11},
+	{"decod24-v1_41", "paqoc_mtuned", 1541.9968595162759, 1548.8587031275429, 0.93279626009521022, 11},
+	{"decod24-v1_41", "paqoc_minf", 1541.9968595162759, 1548.8587031275429, 0.93279626009521022, 11},
+	{"4gt10-v1_81", "accqoc_n3d3", 6645.6391282194727, 7271.721978427061, 0.6088938985763146, 84},
+	{"4gt10-v1_81", "accqoc_n3d5", 5379.7671949382384, 5786.5343216660867, 0.72177335119994379, 55},
+	{"4gt10-v1_81", "paqoc_m0", 2463.7835033981432, 2638.8814777789003, 0.89149253796433736, 19},
+	{"4gt10-v1_81", "paqoc_mtuned", 2463.7835033981432, 2638.8814777789003, 0.89149253796433736, 19},
+	{"4gt10-v1_81", "paqoc_minf", 2415.9666616591508, 2504.7960283573202, 0.9025408016095896, 17},
+	{"qaoa", "accqoc_n3d3", 3035.9094558691213, 5943.2116984593276, 0.57439953680069011, 96},
+	{"qaoa", "accqoc_n3d5", 4604.2630572224225, 7545.2692863631892, 0.67069127614910495, 74},
+	{"qaoa", "paqoc_m0", 2353.718650882955, 4553.5430991754693, 0.65570964793331399, 69},
+	{"qaoa", "paqoc_mtuned", 2353.718650882955, 4553.5430991754693, 0.65570964793331399, 69},
+	{"qaoa", "paqoc_minf", 2353.718650882955, 4553.5430991754693, 0.65570964793331399, 69},
+	{"simon", "accqoc_n3d3", 1246.8787606258275, 1699.8967447715677, 0.89475266475413318, 22},
+	{"simon", "accqoc_n3d5", 1092.3827170728025, 1361.717983501406, 0.93104527278084126, 14},
+	{"simon", "paqoc_m0", 505.97377459254574, 665.95341167062122, 0.94431978041872988, 8},
+	{"simon", "paqoc_mtuned", 691.53924926266939, 848.77195944864991, 0.95152952934315826, 8},
+	{"simon", "paqoc_minf", 691.53924926266939, 848.77195944864991, 0.95152952934315826, 8},
+}
+
+func TestDefaultProfileReproducesSeedResults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fast-five sweep takes tens of seconds")
+	}
+	var names []string
+	for _, g := range goldenFastFive {
+		if len(names) == 0 || names[len(names)-1] != g.bench {
+			names = append(names, g.bench)
+		}
+	}
+	var specs []bench.Spec
+	for _, n := range names {
+		s, ok := bench.ByName(n)
+		if !ok {
+			t.Fatalf("unknown bench %s", n)
+		}
+		specs = append(specs, s)
+	}
+
+	p := DefaultPlatform()
+	if p.Profile == nil || p.Profile.Name != device.DefaultName {
+		t.Fatalf("default platform profile = %+v", p.Profile)
+	}
+	rows, err := p.RunAll(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[[2]string]MethodResult{}
+	for _, row := range rows {
+		for _, r := range row.Results {
+			got[[2]string{row.Bench, r.Method}] = r
+		}
+	}
+	for _, g := range goldenFastFive {
+		r, ok := got[[2]string{g.bench, g.method}]
+		if !ok {
+			t.Errorf("%s/%s: missing result", g.bench, g.method)
+			continue
+		}
+		if r.Latency != g.latency {
+			t.Errorf("%s/%s: latency %.17g, want %.17g", g.bench, g.method, r.Latency, g.latency)
+		}
+		if r.TotalLatency != g.totalLatency {
+			t.Errorf("%s/%s: total latency %.17g, want %.17g", g.bench, g.method, r.TotalLatency, g.totalLatency)
+		}
+		if r.ESP != g.esp {
+			t.Errorf("%s/%s: ESP %.17g, want %.17g", g.bench, g.method, r.ESP, g.esp)
+		}
+		if r.NumBlocks != g.blocks {
+			t.Errorf("%s/%s: blocks %d, want %d", g.bench, g.method, r.NumBlocks, g.blocks)
+		}
+	}
+}

@@ -14,11 +14,14 @@ import (
 	"paqoc/internal/accqoc"
 	"paqoc/internal/bench"
 	"paqoc/internal/circuit"
+	"paqoc/internal/device"
 	"paqoc/internal/engine"
+	"paqoc/internal/hamiltonian"
 	"paqoc/internal/latency"
 	"paqoc/internal/mining"
 	"paqoc/internal/obs"
 	"paqoc/internal/paqoc"
+	"paqoc/internal/pulse"
 	"paqoc/internal/route"
 	"paqoc/internal/topology"
 	"paqoc/internal/transpile"
@@ -30,6 +33,10 @@ type Platform struct {
 	Topo      *topology.Topology
 	RouteOpts route.Options
 	Fidelity  float64
+	// Profile identifies the device backend the platform targets. Nil
+	// (tests constructing a Platform by hand) behaves as the paper's
+	// platform on whatever Topo is set.
+	Profile *device.Profile
 	// Obs optionally threads observability (internal/obs) through every
 	// compiled method; nil keeps the sweeps uninstrumented.
 	Obs *obs.Obs
@@ -46,11 +53,29 @@ type Platform struct {
 // success probabilities (the paper tunes fidelity so circuit ESP beats the
 // baseline rather than pinning a single value).
 func DefaultPlatform() *Platform {
+	return PlatformFor(device.Default())
+}
+
+// PlatformFor targets the evaluation harness at an arbitrary device
+// profile: its topology drives routing and every compiled method estimates
+// under its control bounds. PlatformFor(device.Default()) reproduces the
+// paper's setup bit for bit.
+func PlatformFor(prof *device.Profile) *Platform {
 	return &Platform{
-		Topo:      topology.Grid(5, 5),
+		Topo:      prof.Topology(),
 		RouteOpts: route.DefaultOptions(),
 		Fidelity:  0.99,
+		Profile:   prof,
 	}
+}
+
+// params returns the profile's control parameters, or the zero value (the
+// paper's defaults) for profile-less platforms.
+func (p *Platform) params() hamiltonian.Params {
+	if p.Profile == nil {
+		return hamiltonian.Params{}
+	}
+	return p.Profile.Params()
 }
 
 // Physical lowers a logical benchmark onto the platform: decompose to the
@@ -87,6 +112,7 @@ func (p *Platform) RunMethods(phys *circuit.Circuit) ([]MethodResult, error) {
 	for _, depth := range []int{3, 5} {
 		gen := latency.NewModel()
 		gen.Topo = p.Topo
+		gen.Params = p.params()
 		// Permuted-qubit pulse reuse is a PAQOC contribution (§V-B); the
 		// AccQOC baseline relies on exact and similarity matches only.
 		gen.DB.DetectPermutations = false
@@ -127,7 +153,7 @@ func (p *Platform) RunMethods(phys *circuit.Circuit) ([]MethodResult, error) {
 			cfg.M = paqoc.MInf
 			name = "paqoc_minf"
 		}
-		comp := paqoc.New(nil, p.Topo, cfg)
+		comp := p.newCompiler(nil, cfg)
 		res, err := comp.CompileCtx(ctx, phys)
 		if err != nil {
 			return nil, err
@@ -146,6 +172,14 @@ func (p *Platform) RunMethods(phys *circuit.Circuit) ([]MethodResult, error) {
 }
 
 const mTunedSentinel = -2
+
+// newCompiler builds a paqoc compiler aimed at the platform's backend.
+func (p *Platform) newCompiler(gen pulse.Generator, cfg paqoc.Config) *paqoc.Compiler {
+	if p.Profile != nil {
+		return paqoc.NewForProfile(gen, p.Profile, cfg)
+	}
+	return paqoc.New(gen, p.Topo, cfg)
+}
 
 // BenchRow pairs a benchmark with its per-method results.
 type BenchRow struct {

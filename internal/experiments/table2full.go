@@ -46,10 +46,13 @@ func TableIIFull(p *Platform, benches []string, maxUsedQubits int) ([]TableIIFul
 		}
 		gen := grape.NewGenerator(grape.DefaultOptions())
 		gen.Topo = p.Topo
+		if p.Profile != nil {
+			gen.System = p.Profile.SystemBuilder()
+		}
 		cfg := paqoc.DefaultConfig()
 		cfg.FidelityTarget = 0.999 // GRAPE-feasible target
 		cfg.ProbeCaseII = false
-		comp := paqoc.New(gen, p.Topo, cfg)
+		comp := p.newCompiler(gen, cfg)
 		res, err := comp.CompileCtx(context.Background(), phys)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %v", name, err)
@@ -87,7 +90,7 @@ func TableIIFull(p *Platform, benches []string, maxUsedQubits int) ([]TableIIFul
 			if err != nil {
 				return nil, err
 			}
-			sys := hamiltonian.XYTransmon(cg.NumQubits(), blockCouplings(p, cg))
+			sys := p.blockSystem(cg.NumQubits(), blockCouplings(p, cg))
 			got, err := pulsesim.EvolveCtx(context.Background(), sys, b.Gen.Schedule)
 			if err != nil {
 				return nil, fmt.Errorf("%s: block %s: %v", name, cg.Describe(), err)
@@ -108,6 +111,15 @@ func TableIIFull(p *Platform, benches []string, maxUsedQubits int) ([]TableIIFul
 		})
 	}
 	return rows, nil
+}
+
+// blockSystem builds a block Hamiltonian under the platform's backend (the
+// paper's platform when no profile is set).
+func (p *Platform) blockSystem(n int, pairs [][2]int) *hamiltonian.System {
+	if p.Profile != nil {
+		return p.Profile.System(n, pairs)
+	}
+	return hamiltonian.XYTransmon(n, pairs)
 }
 
 // blockCouplings mirrors grape.Generator's coupling selection.

@@ -66,6 +66,7 @@ func (p *Platform) methodBlocks(phys *circuit.Circuit) (map[string]*critical.Blo
 	for _, depth := range []int{3, 5} {
 		gen := latency.NewModel()
 		gen.Topo = p.Topo
+		gen.Params = p.params()
 		gen.DB.DetectPermutations = false
 		res, err := accqoc.CompileCtx(context.Background(), phys, gen, accqoc.Options{MaxQubits: 3, Depth: depth, FidelityTarget: p.Fidelity})
 		if err != nil {
@@ -90,7 +91,7 @@ func (p *Platform) methodBlocks(phys *circuit.Circuit) (map[string]*critical.Blo
 			cfg.M = paqoc.MInf
 			name = "paqoc_minf"
 		}
-		comp := paqoc.New(nil, p.Topo, cfg)
+		comp := p.newCompiler(nil, cfg)
 		res, err := comp.CompileCtx(context.Background(), phys)
 		if err != nil {
 			return nil, err

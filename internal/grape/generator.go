@@ -26,6 +26,11 @@ type Generator struct {
 	// SimilarityDist bounds the similarity search for initial guesses; 0
 	// disables warm starts.
 	SimilarityDist float64
+	// System optionally builds the block Hamiltonian for n qubits with the
+	// given local coupling pairs — the hook device profiles use to supply
+	// their control bounds and error terms (device.Profile.SystemBuilder).
+	// When nil, the paper's platform (hamiltonian.XYTransmon) is used.
+	System func(n int, pairs [][2]int) *hamiltonian.System
 }
 
 // NewGenerator returns a GRAPE-backed generator with a fresh pulse DB.
@@ -154,7 +159,7 @@ func (g *Generator) optimize(ctx context.Context, cg *pulse.CustomGate, u *linal
 		}
 	}
 
-	sys := hamiltonian.XYTransmon(cg.NumQubits(), g.couplings(cg))
+	sys := g.system(cg.NumQubits(), g.couplings(cg))
 	start := time.Now()
 	reg.Counter("grape.generated").Inc()
 	sched, latency, fid, err := MinimumTimeCtx(ctx, sys, u, opts)
@@ -171,6 +176,15 @@ func (g *Generator) optimize(ctx context.Context, cg *pulse.CustomGate, u *linal
 		Error:    1 - fid,
 		Cost:     time.Since(start).Seconds(),
 	}, nil
+}
+
+// system builds the block Hamiltonian via the configured builder, or the
+// paper's platform when none is set.
+func (g *Generator) system(n int, pairs [][2]int) *hamiltonian.System {
+	if g.System != nil {
+		return g.System(n, pairs)
+	}
+	return hamiltonian.XYTransmon(n, pairs)
 }
 
 // couplings maps the group's physical-qubit adjacency onto local wires.

@@ -219,7 +219,10 @@ func TestGRAPECompensatesZZCrosstalk(t *testing.T) {
 		t.Skip("crosstalk study is slow")
 	}
 	pairs := hamiltonian.LinearChain(2)
-	noisy := hamiltonian.XYTransmon(2, pairs).WithZZCrosstalk(pairs, hamiltonian.TypicalZZCrosstalk*3)
+	noisy, err := hamiltonian.XYTransmon(2, pairs).WithZZCrosstalk(pairs, hamiltonian.TypicalZZCrosstalk*3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ideal := noisy.IdealTwin()
 	target := quantum.MatCX.Clone()
 	opts := DefaultOptions()

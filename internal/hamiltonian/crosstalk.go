@@ -1,6 +1,8 @@
 package hamiltonian
 
 import (
+	"fmt"
+
 	"paqoc/internal/linalg"
 	"paqoc/internal/quantum"
 )
@@ -13,7 +15,16 @@ import (
 // same method". GRAPE run against the updated system compensates the
 // crosstalk; pulses generated for the ideal system degrade under it (see
 // the package tests and internal/grape's crosstalk tests).
-func (s *System) WithZZCrosstalk(pairs [][2]int, zeta float64) *System {
+//
+// Pairs are validated against the system's qubit count up front: an
+// out-of-range or degenerate pair returns an error here, rather than a
+// panic deep inside quantum.Embed.
+func (s *System) WithZZCrosstalk(pairs [][2]int, zeta float64) (*System, error) {
+	for _, p := range pairs {
+		if p[0] == p[1] || p[0] < 0 || p[1] < 0 || p[0] >= s.NumQubits || p[1] >= s.NumQubits {
+			return nil, fmt.Errorf("hamiltonian: crosstalk pair (%d,%d) invalid for %d-qubit system", p[0], p[1], s.NumQubits)
+		}
+	}
 	out := &System{
 		NumQubits: s.NumQubits,
 		Dim:       s.Dim,
@@ -26,7 +37,7 @@ func (s *System) WithZZCrosstalk(pairs [][2]int, zeta float64) *System {
 		term := quantum.Embed(zz, []int{p[0], p[1]}, s.NumQubits)
 		out.Drift.AddInPlace(term, complex(zeta, 0))
 	}
-	return out
+	return out, nil
 }
 
 // TypicalZZCrosstalk is a strong-but-realistic always-on ZZ rate for

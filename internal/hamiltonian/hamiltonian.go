@@ -35,6 +35,44 @@ var CouplingBound = 2 * math.Pi * MuMaxGHz * DtNanoseconds
 // DriveBound is the single-qubit drive limit in rad/dt: 5·μmax.
 var DriveBound = SingleQubitFactor * CouplingBound
 
+// Params bundles the physical control parameters of one device so they can
+// vary per backend (internal/device builds a Params from each profile). The
+// zero value is not meaningful; use DefaultParams for the paper's platform.
+type Params struct {
+	// DtNanoseconds is the duration of one dt sample.
+	DtNanoseconds float64
+	// MuMaxGHz is the two-qubit interaction control-field limit in GHz.
+	MuMaxGHz float64
+	// SingleQubitFactor scales the single-qubit drive bound relative to
+	// the coupling bound.
+	SingleQubitFactor float64
+}
+
+// DefaultParams returns the paper's §VI-c platform parameters — the values
+// the package-level constants carry.
+func DefaultParams() Params {
+	return Params{
+		DtNanoseconds:     DtNanoseconds,
+		MuMaxGHz:          MuMaxGHz,
+		SingleQubitFactor: SingleQubitFactor,
+	}
+}
+
+// CouplingBound is μmax in rad/dt. The expression mirrors the package-level
+// CouplingBound exactly so DefaultParams reproduces it bit for bit.
+func (p Params) CouplingBound() float64 {
+	return 2 * math.Pi * p.MuMaxGHz * p.DtNanoseconds
+}
+
+// DriveBound is the single-qubit drive limit in rad/dt.
+func (p Params) DriveBound() float64 {
+	return p.SingleQubitFactor * p.CouplingBound()
+}
+
+// IsZero reports whether p is the zero value (callers that take an optional
+// Params fall back to DefaultParams).
+func (p Params) IsZero() bool { return p == Params{} }
+
 // Control is one controllable term α_k(t)·H_k.
 type Control struct {
 	Name  string
@@ -55,9 +93,18 @@ type System struct {
 // pair. The rotating-frame drift is zero. pairs lists coupled qubit index
 // pairs local to this system (0-based).
 func XYTransmon(n int, pairs [][2]int) *System {
+	return XYTransmonWith(DefaultParams(), n, pairs)
+}
+
+// XYTransmonWith is XYTransmon with explicit device parameters: the drive
+// and coupling bounds come from params instead of the package constants.
+// XYTransmon(n, pairs) ≡ XYTransmonWith(DefaultParams(), n, pairs).
+func XYTransmonWith(params Params, n int, pairs [][2]int) *System {
 	if n <= 0 {
 		panic("hamiltonian: need at least one qubit")
 	}
+	driveBound := params.DriveBound()
+	couplingBound := params.CouplingBound()
 	dim := 1 << n
 	sys := &System{NumQubits: n, Dim: dim, Drift: linalg.New(dim, dim)}
 
@@ -66,12 +113,12 @@ func XYTransmon(n int, pairs [][2]int) *System {
 		sys.Controls = append(sys.Controls, Control{
 			Name:  fmt.Sprintf("d%d.x", q),
 			H:     quantum.Embed(quantum.MatX.Scale(half), []int{q}, n),
-			Bound: DriveBound,
+			Bound: driveBound,
 		})
 		sys.Controls = append(sys.Controls, Control{
 			Name:  fmt.Sprintf("d%d.y", q),
 			H:     quantum.Embed(quantum.MatY.Scale(half), []int{q}, n),
-			Bound: DriveBound,
+			Bound: driveBound,
 		})
 	}
 	for _, p := range pairs {
@@ -84,7 +131,7 @@ func XYTransmon(n int, pairs [][2]int) *System {
 		sys.Controls = append(sys.Controls, Control{
 			Name:  fmt.Sprintf("c%d.%d.xy", p[0], p[1]),
 			H:     quantum.Embed(gen, []int{p[0], p[1]}, n),
-			Bound: CouplingBound,
+			Bound: couplingBound,
 		})
 	}
 	return sys

@@ -141,9 +141,56 @@ func TestLinearChainAndAllPairs(t *testing.T) {
 	}
 }
 
+func TestDefaultParamsMatchConstants(t *testing.T) {
+	p := DefaultParams()
+	// Bit-identical, not approximately equal: the default device profile
+	// must reproduce the seed platform exactly.
+	if p.CouplingBound() != CouplingBound {
+		t.Errorf("CouplingBound: %v != %v", p.CouplingBound(), CouplingBound)
+	}
+	if p.DriveBound() != DriveBound {
+		t.Errorf("DriveBound: %v != %v", p.DriveBound(), DriveBound)
+	}
+	if p.IsZero() {
+		t.Error("DefaultParams should not be zero")
+	}
+	if !(Params{}).IsZero() {
+		t.Error("zero Params should report IsZero")
+	}
+}
+
+func TestXYTransmonWithCustomBounds(t *testing.T) {
+	p := Params{DtNanoseconds: 2.0 / 9.0, MuMaxGHz: 0.04, SingleQubitFactor: 3}
+	sys := XYTransmonWith(p, 2, AllPairs(2))
+	for _, c := range sys.Controls {
+		switch c.Name[0] {
+		case 'd':
+			if c.Bound != p.DriveBound() {
+				t.Errorf("%s bound %g, want %g", c.Name, c.Bound, p.DriveBound())
+			}
+		case 'c':
+			if c.Bound != p.CouplingBound() {
+				t.Errorf("%s bound %g, want %g", c.Name, c.Bound, p.CouplingBound())
+			}
+		}
+	}
+}
+
+func TestWithZZCrosstalkRejectsBadPairs(t *testing.T) {
+	base := XYTransmon(2, LinearChain(2))
+	for _, bad := range [][2]int{{0, 0}, {-1, 1}, {0, 2}, {5, 1}} {
+		if _, err := base.WithZZCrosstalk([][2]int{bad}, TypicalZZCrosstalk); err == nil {
+			t.Errorf("pair %v should be rejected", bad)
+		}
+	}
+}
+
 func TestZZCrosstalkDrift(t *testing.T) {
 	base := XYTransmon(2, LinearChain(2))
-	noisy := base.WithZZCrosstalk(LinearChain(2), TypicalZZCrosstalk)
+	noisy, err := base.WithZZCrosstalk(LinearChain(2), TypicalZZCrosstalk)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if noisy.Drift.MaxAbs() == 0 {
 		t.Fatal("crosstalk drift missing")
 	}
@@ -164,7 +211,10 @@ func TestZZCrosstalkDrift(t *testing.T) {
 
 func TestZZCrosstalkDephasesIdlePair(t *testing.T) {
 	// With no drive, the noisy system drifts away from identity.
-	noisy := XYTransmon(2, LinearChain(2)).WithZZCrosstalk(LinearChain(2), TypicalZZCrosstalk)
+	noisy, err := XYTransmon(2, LinearChain(2)).WithZZCrosstalk(LinearChain(2), TypicalZZCrosstalk)
+	if err != nil {
+		t.Fatal(err)
+	}
 	amps := make([]float64, len(noisy.Controls))
 	u := noisy.Propagator(amps, 200)
 	if d := linalg.GlobalPhaseDistance(u, linalg.Identity(4)); d < 1e-3 {

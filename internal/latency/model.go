@@ -28,9 +28,29 @@ type Model struct {
 	Topo *topology.Topology
 	// SimilarityDist enables AccQOC-style warm-start cost discounts.
 	SimilarityDist float64
+	// Params carries the target backend's control parameters. The zero
+	// value falls back to the paper's platform (hamiltonian.DefaultParams),
+	// so existing call sites keep their exact behaviour.
+	Params hamiltonian.Params
 
 	mu        sync.Mutex
 	weylCache map[string][3]float64
+}
+
+// driveBound returns the backend's single-qubit drive limit in rad/dt.
+func (m *Model) driveBound() float64 {
+	if m.Params.IsZero() {
+		return hamiltonian.DriveBound
+	}
+	return m.Params.DriveBound()
+}
+
+// couplingBound returns the backend's two-qubit coupling limit in rad/dt.
+func (m *Model) couplingBound() float64 {
+	if m.Params.IsZero() {
+		return hamiltonian.CouplingBound
+	}
+	return m.Params.CouplingBound()
 }
 
 // Calibration constants (dt units unless noted).
@@ -158,13 +178,13 @@ func (m *Model) estimate(cg *pulse.CustomGate, u *linalg.Matrix, key string) (fl
 			half = 1
 		}
 		angle := 2 * math.Acos(half)
-		return baseOverhead1Q + jitter*angle/hamiltonian.DriveBound, nil
+		return baseOverhead1Q + jitter*angle/m.driveBound(), nil
 	case 2:
 		c, err := m.weyl(key, u)
 		if err != nil {
 			return 0, err
 		}
-		tInt := InteractionTime(c) / hamiltonian.CouplingBound
+		tInt := InteractionTime(c) / m.couplingBound()
 		locals := echoLocalCost * LocalContent(c) / (math.Pi / 4)
 		locals += residualLocal * m.rotationLoad(cg)
 		return baseOverhead2Q + jitter*(tInt+locals), nil
@@ -190,7 +210,7 @@ func (m *Model) estimate3Q(cg *pulse.CustomGate, key string, jitter float64) (fl
 
 	// Interaction on one pair saturates like the two-qubit Weyl chamber:
 	// no pair ever needs more than the SWAP-class time plus echo locals.
-	pairCap := 3*math.Pi/4/hamiltonian.CouplingBound + 2*echoLocalCost
+	pairCap := 3*math.Pi/4/m.couplingBound() + 2*echoLocalCost
 
 	for _, g := range cg.LocalGates() {
 		switch g.Arity() {
@@ -205,13 +225,13 @@ func (m *Model) estimate3Q(cg *pulse.CustomGate, key string, jitter float64) (fl
 			if err != nil {
 				return 0, err
 			}
-			t := InteractionTime(c)/hamiltonian.CouplingBound +
+			t := InteractionTime(c)/m.couplingBound() +
 				echoLocalCost*LocalContent(c)/(math.Pi/4)
 			addLoad(g.Qubits[0], g.Qubits[1], t)
 		case 3:
 			// Pair profile of the standard decompositions: two CX on each
 			// of the three pairs (Toffoli-family gates).
-			cxT := math.Pi/2/hamiltonian.CouplingBound + echoLocalCost
+			cxT := math.Pi/2/m.couplingBound() + echoLocalCost
 			for _, p := range [][2]int{{g.Qubits[0], g.Qubits[1]}, {g.Qubits[0], g.Qubits[2]}, {g.Qubits[1], g.Qubits[2]}} {
 				addLoad(p[0], p[1], 2*cxT)
 			}
@@ -264,7 +284,7 @@ func (m *Model) rotationLoad(cg *pulse.CustomGate) float64 {
 			mx = v
 		}
 	}
-	return mx / hamiltonian.DriveBound
+	return mx / m.driveBound()
 }
 
 func (m *Model) coupled(cg *pulse.CustomGate, la, lb int) bool {

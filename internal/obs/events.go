@@ -18,6 +18,10 @@ type Event struct {
 	State string  `json:"state,omitempty"` // state events: new job state
 	Gate  string  `json:"gate,omitempty"`  // convergence events: gate label
 
+	// Backend names the device profile a job compiles against (state
+	// events published by the job lifecycle; empty elsewhere).
+	Backend string `json:"backend,omitempty"`
+
 	// Convergence payload (convergence events only).
 	Iter     int     `json:"iter,omitempty"`
 	Fidelity float64 `json:"fidelity,omitempty"`

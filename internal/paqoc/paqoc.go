@@ -13,6 +13,7 @@ import (
 	"paqoc/internal/circuit"
 	"paqoc/internal/commute"
 	"paqoc/internal/critical"
+	"paqoc/internal/device"
 	"paqoc/internal/engine"
 	"paqoc/internal/latency"
 	"paqoc/internal/mining"
@@ -156,6 +157,19 @@ func New(gen pulse.Generator, topo *topology.Topology, cfg Config) *Compiler {
 		cfg.MaxIterations = 10000
 	}
 	return &Compiler{Gen: gen, Ranker: ranker, Cfg: cfg}
+}
+
+// NewForProfile builds a compiler targeting a device profile: the ranker
+// (and, when gen is nil, the model generator) estimates against the
+// profile's control bounds instead of the paper's constants. With the
+// default profile it is equivalent to New(gen, prof.Topology(), cfg).
+func NewForProfile(gen pulse.Generator, prof *device.Profile, cfg Config) *Compiler {
+	cp := New(gen, prof.Topology(), cfg)
+	cp.Ranker.Params = prof.Params()
+	if m, ok := cp.Gen.(*latency.Model); ok {
+		m.Params = prof.Params()
+	}
+	return cp
 }
 
 // workers returns the effective pool width: Config.Workers clamped to at

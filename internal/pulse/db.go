@@ -40,6 +40,14 @@ type DB struct {
 	// DB across goroutines.
 	DetectPermutations bool
 
+	// fingerprint namespaces every key by the serving backend's physical
+	// identity (device.Profile.Fingerprint): a pulse calibrated for one
+	// device must never satisfy a lookup for another, even inside one
+	// process holding several DBs. Empty means un-namespaced (single-device
+	// deployments and legacy snapshots). Set via SetFingerprint before any
+	// store.
+	fingerprint string
+
 	shards [numShards]shard
 
 	// dims maps matrix dimension → *dimIndex (the Nearest similarity
@@ -133,6 +141,32 @@ func NewDB() *DB {
 	return db
 }
 
+// SetFingerprint namespaces the DB's keys by a backend fingerprint. It
+// must be called on an empty DB (keys embed the fingerprint, so flipping
+// it later would orphan stored entries) and before the DB is shared across
+// goroutines.
+func (db *DB) SetFingerprint(fp string) {
+	if db.Len() > 0 {
+		panic("pulse: SetFingerprint on a non-empty DB")
+	}
+	db.fingerprint = fp
+}
+
+// Fingerprint returns the backend fingerprint the DB is namespaced by
+// (empty when un-namespaced).
+func (db *DB) Fingerprint() string { return db.fingerprint }
+
+// key prefixes a canonical unitary key with the backend fingerprint. The
+// prefix is constant per DB, so key ordering (Nearest tie-breaks, Save's
+// sorted snapshots, eviction ranking) is preserved relative to the
+// canonical keys.
+func (db *DB) key(canonical string) string {
+	if db.fingerprint == "" {
+		return canonical
+	}
+	return db.fingerprint + "\x1f" + canonical
+}
+
 // dbSeed fixes the shard hash across all DBs so permuted keys map to
 // stable shards for the ordered multi-shard locking in do().
 var dbSeed = maphash.MakeSeed()
@@ -204,7 +238,7 @@ func (db *DB) permutedKeys(u *linalg.Matrix, usePerms bool) []permKey {
 	perms := lookupPerms(k)
 	out := make([]permKey, len(perms))
 	for i, p := range perms {
-		out[i] = permKey{key: CanonicalKey(quantum.PermuteQubits(u, p)), perm: p}
+		out[i] = permKey{key: db.key(CanonicalKey(quantum.PermuteQubits(u, p))), perm: p}
 	}
 	return out
 }
@@ -232,7 +266,7 @@ func (db *DB) Lookup(u *linalg.Matrix) (gen *Generated, perm []int, ok bool) {
 	if h := db.lookupMs.Load(); h != nil {
 		defer observeSince(h, time.Now())
 	}
-	if e := db.get(CanonicalKey(u)); e != nil {
+	if e := db.get(db.key(CanonicalKey(u))); e != nil {
 		db.hits.Add(1)
 		e.uses.Add(1)
 		return e.Generated, nil, true
@@ -261,7 +295,7 @@ func (db *DB) store(u *linalg.Matrix, g *Generated, protected bool) {
 	if db.storeMs.Load() != nil {
 		start = time.Now()
 	}
-	key := CanonicalKey(u)
+	key := db.key(CanonicalKey(u))
 	s := db.shard(key)
 	s.mu.Lock()
 	if prev, ok := s.entries[key]; ok {
@@ -289,7 +323,7 @@ func (db *DB) store(u *linalg.Matrix, g *Generated, protected bool) {
 // remains. The paqoc emitter protects APA-basis pulses — the offline
 // investment the online component must keep warm (§V-C).
 func (db *DB) Protect(u *linalg.Matrix) {
-	if e := db.get(CanonicalKey(u)); e != nil {
+	if e := db.get(db.key(CanonicalKey(u))); e != nil {
 		e.protected.Store(true)
 	}
 }
@@ -334,7 +368,7 @@ func (db *DB) DoExact(u *linalg.Matrix, generate func() (*Generated, error)) (*G
 }
 
 func (db *DB) do(u *linalg.Matrix, usePerms bool, generate func() (*Generated, error)) (*Generated, []int, Outcome, error) {
-	key := CanonicalKey(u)
+	key := db.key(CanonicalKey(u))
 	permKeys := db.permutedKeys(u, usePerms)
 	// The slow path must check entries and flights across the exact key
 	// and every permuted key atomically (the seed did this under one

@@ -16,8 +16,12 @@ import (
 // component persists APA-basis and customized-gate pulses here so the
 // online component can start warm in a later process.
 type dbFile struct {
-	Version int           `json:"version"`
-	Entries []dbFileEntry `json:"entries"`
+	Version int `json:"version"`
+	// Fingerprint records which backend the pulses were calibrated for
+	// (device.Profile.Fingerprint). Empty in snapshots from un-namespaced
+	// DBs and in pre-fingerprint files.
+	Fingerprint string        `json:"fingerprint,omitempty"`
+	Entries     []dbFileEntry `json:"entries"`
 }
 
 type dbFileEntry struct {
@@ -67,7 +71,7 @@ func (db *DB) SaveWithReport(w io.Writer) (SaveReport, error) {
 	sort.Slice(entries, func(i, j int) bool { return entries[i].Key < entries[j].Key })
 
 	var rep SaveReport
-	out := dbFile{Version: 1}
+	out := dbFile{Version: 1, Fingerprint: db.fingerprint}
 	for _, e := range entries {
 		if !entryFinite(e) {
 			rep.SkippedNonFinite++
@@ -178,15 +182,28 @@ func (db *DB) SaveFileWithReport(path string) (rep SaveReport, err error) {
 // returns an empty database and ok=false, matching the cold-start flow
 // where the file appears after the first save.
 func LoadFile(path string) (db *DB, ok bool, err error) {
+	return loadFile(path, "", false)
+}
+
+// LoadFileFor is LoadFile pinned to a backend: the snapshot's fingerprint
+// must match want (see LoadDBFor), and the returned DB — including the
+// empty one for a missing file — is namespaced by want.
+func LoadFileFor(path, want string) (db *DB, ok bool, err error) {
+	return loadFile(path, want, true)
+}
+
+func loadFile(path, want string, pinned bool) (db *DB, ok bool, err error) {
 	f, err := os.Open(path)
 	if err != nil {
 		if os.IsNotExist(err) {
-			return NewDB(), false, nil
+			db = NewDB()
+			db.SetFingerprint(want)
+			return db, false, nil
 		}
 		return nil, false, err
 	}
 	defer f.Close()
-	db, err = LoadDB(f)
+	db, err = loadDB(f, want, pinned)
 	if err != nil {
 		return nil, false, err
 	}
@@ -199,8 +216,21 @@ func LoadFile(path string) (db *DB, ok bool, err error) {
 // tolerance — a corrupt or hand-edited file fails fast with the offending
 // entry's index instead of poisoning warm starts at compile time. Cache
 // statistics start fresh; permutation detection follows NewDB's default
-// (on).
+// (on). The loaded DB adopts the snapshot's fingerprint, if any.
 func LoadDB(r io.Reader) (*DB, error) {
+	return loadDB(r, "", false)
+}
+
+// LoadDBFor is LoadDB pinned to a serving backend: a snapshot whose
+// fingerprint differs from want is refused, so pulses calibrated for one
+// device are never warmed into another's cache. Legacy snapshots with no
+// fingerprint are accepted and adopted under want (they predate
+// namespacing and can only have come from the default platform).
+func LoadDBFor(r io.Reader, want string) (*DB, error) {
+	return loadDB(r, want, true)
+}
+
+func loadDB(r io.Reader, want string, pinned bool) (*DB, error) {
 	var in dbFile
 	if err := json.NewDecoder(r).Decode(&in); err != nil {
 		return nil, fmt.Errorf("pulse: loading DB: %v", err)
@@ -209,6 +239,16 @@ func LoadDB(r io.Reader) (*DB, error) {
 		return nil, fmt.Errorf("pulse: unsupported DB version %d", in.Version)
 	}
 	db := NewDB()
+	switch {
+	case pinned:
+		if in.Fingerprint != "" && in.Fingerprint != want {
+			return nil, fmt.Errorf("pulse: DB snapshot was calibrated for backend fingerprint %q, serving backend is %q — refusing to load cross-device pulses",
+				in.Fingerprint, want)
+		}
+		db.SetFingerprint(want)
+	default:
+		db.SetFingerprint(in.Fingerprint)
+	}
 	for i, fe := range in.Entries {
 		if fe.Dim <= 0 || len(fe.Unitary) != fe.Dim*fe.Dim {
 			return nil, fmt.Errorf("pulse: entry %d has inconsistent dimensions", i)

@@ -27,6 +27,11 @@ type Request struct {
 	// Bench names a built-in Table I benchmark.
 	Bench string `json:"bench,omitempty"`
 
+	// Backend names the device profile to compile against (a registered
+	// profile or a dynamic name like "xy-grid-3x4"); empty selects the
+	// server's default backend. Unknown names are rejected with 400.
+	Backend string `json:"backend,omitempty"`
+
 	// APA enables the frequent-subcircuit miner (paqoc(M=inf)); off
 	// compiles with customized gates only (paqoc(M=0)).
 	APA bool `json:"apa,omitempty"`
@@ -139,9 +144,11 @@ func (s *Server) compile(ctx context.Context, j *Job) (*Result, error) {
 
 	req := j.req
 	logical := j.logical
+	topo := j.profile.Topology()
+	db := s.dbFor(j.profile)
 	_, routeSpan := obs.StartSpan(ctx, "server.route")
 	routeStart := time.Now()
-	phys, routeRes, err := transpile.ToPhysical(logical, s.topo, route.DefaultOptions())
+	phys, routeRes, err := transpile.ToPhysical(logical, topo, route.DefaultOptions())
 	j.events.PublishStage("route", time.Since(routeStart))
 	routeSpan.End()
 	if err != nil {
@@ -165,11 +172,12 @@ func (s *Server) compile(ctx context.Context, j *Job) (*Result, error) {
 	var gen pulse.Generator
 	if req.Grape {
 		g := grape.NewGenerator(grape.DefaultOptions())
-		g.Topo = s.topo
-		g.DB = s.db // shared warm database: cross-request hits and dedups
+		g.Topo = topo
+		g.DB = db // shared warm database: cross-request hits and dedups
+		g.System = j.profile.SystemBuilder()
 		gen = g
 	}
-	comp := paqoc.New(gen, s.topo, cfg)
+	comp := paqoc.NewForProfile(gen, j.profile, cfg)
 	res, err := comp.CompileCtx(ctx, phys)
 	span.End()
 	if err != nil {
@@ -189,7 +197,7 @@ func (s *Server) compile(ctx context.Context, j *Job) (*Result, error) {
 		CompileCostSec:   res.CompileCost,
 		OfflineCostSec:   res.OfflineCost,
 		WallMs:           float64(res.WallTime) / float64(time.Millisecond),
-		DBEntries:        s.db.Len(),
+		DBEntries:        db.Len(),
 	}
 	if res.InitialLatency > 0 {
 		out.ReductionPct = 100 * (1 - res.Latency/res.InitialLatency)

@@ -73,13 +73,18 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		s.badRequest(w, err)
 		return
 	}
+	prof, err := s.profileFor(req.Backend)
+	if err != nil {
+		s.badRequest(w, err)
+		return
+	}
 	sync, err := s.pickMode(&req, len(logical.Gates))
 	if err != nil {
 		s.badRequest(w, err)
 		return
 	}
 
-	j := s.jobs.add(&req, logical, s.jobTimeout(&req))
+	j := s.jobs.add(&req, logical, prof, s.jobTimeout(&req))
 	if err := s.Submit(j); err != nil {
 		// The job never entered the queue: drop it from the store now, or
 		// its request body and circuit would be retained forever (no
@@ -96,7 +101,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	s.cfg.Logger.Info("job queued", "job_id", j.ID, "gates", len(logical.Gates), "sync", sync)
+	s.cfg.Logger.Info("job queued", "job_id", j.ID, "backend", prof.Name, "gates", len(logical.Gates), "sync", sync)
 
 	if !sync {
 		s.reg.Counter("server.requests_async").Inc()

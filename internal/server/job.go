@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"paqoc/internal/circuit"
+	"paqoc/internal/device"
 	"paqoc/internal/obs"
 )
 
@@ -30,6 +31,7 @@ type Job struct {
 
 	req     *Request
 	logical *circuit.Circuit
+	profile *device.Profile
 	timeout time.Duration
 
 	mu        sync.Mutex
@@ -53,12 +55,27 @@ type Job struct {
 	events *obs.EventRing
 }
 
+// backendName is the job's device profile name ("" for jobs created
+// without one, e.g. in unit tests that never run the pipeline).
+func (j *Job) backendName() string {
+	if j.profile == nil {
+		return ""
+	}
+	return j.profile.Name
+}
+
+// publishState stamps lifecycle events with the job's backend so SSE
+// consumers see which device profile the job compiles against.
+func (j *Job) publishState(state, errMsg string) {
+	j.events.Publish(obs.Event{Type: obs.EventState, State: state, Err: errMsg, Backend: j.backendName()})
+}
+
 func (j *Job) start() {
 	j.mu.Lock()
 	j.state = StateRunning
 	j.started = time.Now()
 	j.mu.Unlock()
-	j.events.PublishState(string(StateRunning), "")
+	j.publishState(string(StateRunning), "")
 }
 
 // finish moves the job to its terminal state and releases waiters.
@@ -76,7 +93,7 @@ func (j *Job) finish(res *Result, err error, timedOut, canceled bool) {
 	}
 	state, errMsg := string(j.state), j.errMsg
 	j.mu.Unlock()
-	j.events.PublishState(state, errMsg)
+	j.publishState(state, errMsg)
 	j.events.Close()
 	close(j.done)
 }
@@ -86,6 +103,7 @@ func (j *Job) finish(res *Result, err error, timedOut, canceled bool) {
 type Status struct {
 	JobID    string   `json:"job_id"`
 	State    JobState `json:"status"`
+	Backend  string   `json:"backend,omitempty"`
 	Error    string   `json:"error,omitempty"`
 	TimedOut bool     `json:"timed_out,omitempty"`
 	Canceled bool     `json:"canceled,omitempty"`
@@ -101,6 +119,7 @@ func (j *Job) status() Status {
 	st := Status{
 		JobID:    j.ID,
 		State:    j.state,
+		Backend:  j.backendName(),
 		Error:    j.errMsg,
 		TimedOut: j.timedOut,
 		Canceled: j.canceled,
@@ -146,14 +165,16 @@ func newJobStore(retain int) *jobStore {
 // it the oldest events roll off.
 const jobEventCapacity = 512
 
-// add creates and registers a queued job for an already-parsed request.
-func (s *jobStore) add(req *Request, logical *circuit.Circuit, timeout time.Duration) *Job {
+// add creates and registers a queued job for an already-parsed request,
+// bound to its resolved device profile.
+func (s *jobStore) add(req *Request, logical *circuit.Circuit, prof *device.Profile, timeout time.Duration) *Job {
 	s.mu.Lock()
 	s.seq++
 	j := &Job{
 		ID:        fmt.Sprintf("job-%06d", s.seq),
 		req:       req,
 		logical:   logical,
+		profile:   prof,
 		timeout:   timeout,
 		state:     StateQueued,
 		submitted: time.Now(),
@@ -162,7 +183,7 @@ func (s *jobStore) add(req *Request, logical *circuit.Circuit, timeout time.Dura
 	}
 	s.jobs[j.ID] = j
 	s.mu.Unlock()
-	j.events.PublishState(string(StateQueued), "")
+	j.publishState(string(StateQueued), "")
 	return j
 }
 

@@ -27,9 +27,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"paqoc/internal/device"
 	"paqoc/internal/obs"
 	"paqoc/internal/pulse"
-	"paqoc/internal/topology"
 )
 
 // Sentinel errors returned by Submit.
@@ -76,9 +76,16 @@ type Config struct {
 	// SnapshotInterval is the warm-DB persistence cadence (default 5m when
 	// DBPath is set; negative disables periodic snapshots).
 	SnapshotInterval time.Duration
-	// GridRows/GridCols fix the device topology for every request (default
-	// 5×5). Server-level on purpose: pulse-DB schedules are keyed by
-	// unitary alone, so one device per database keeps reuse sound.
+	// Backend names the default device profile (internal/device registry
+	// or a dynamic name like "xy-grid-3x4"; default "xy-grid-5x5").
+	// Requests may override it per job with their own "backend" field;
+	// each backend gets its own fingerprint-namespaced pulse database, so
+	// schedules never leak across devices. Only the default backend's
+	// database is persisted to DBPath.
+	Backend string
+	// GridRows/GridCols are the deprecated way to pick a grid device:
+	// when Backend is empty they map to the dynamic profile
+	// "xy-grid-<rows>x<cols>" (default 5×5).
 	GridRows, GridCols int
 	// JobRetention is how many finished jobs stay queryable (default 512).
 	JobRetention int
@@ -119,6 +126,9 @@ func (c *Config) fill() {
 	if c.GridCols <= 0 {
 		c.GridCols = 5
 	}
+	if c.Backend == "" {
+		c.Backend = fmt.Sprintf("xy-grid-%dx%d", c.GridRows, c.GridCols)
+	}
 	if c.JobRetention <= 0 {
 		c.JobRetention = 512
 	}
@@ -133,11 +143,17 @@ func (c *Config) fill() {
 // Server is the resident compilation service. Create with New, launch the
 // workers with Start, serve Handler over HTTP, and stop with Shutdown.
 type Server struct {
-	cfg  Config
-	topo *topology.Topology
-	db   *pulse.DB
-	reg  *obs.Registry
-	jobs *jobStore
+	cfg     Config
+	profile *device.Profile // default backend
+	db      *pulse.DB       // default backend's database (the persisted one)
+	reg     *obs.Registry
+	jobs    *jobStore
+
+	// dbs holds the lazily-created pulse databases of non-default
+	// backends, keyed by profile name. Each is namespaced by its
+	// profile's fingerprint; none of them is persisted.
+	dbmu sync.Mutex
+	dbs  map[string]*pulse.DB
 
 	queue chan *Job
 	qmu   sync.RWMutex // guards queue-send vs close, and draining
@@ -156,26 +172,33 @@ type Server struct {
 	compileFn func(ctx context.Context, j *Job) (*Result, error)
 }
 
-// New builds a server and loads the pulse database from cfg.DBPath (a
-// missing file starts cold). No goroutines run until Start.
+// New builds a server and loads the default backend's pulse database from
+// cfg.DBPath (a missing file starts cold; a snapshot calibrated for a
+// different backend is refused). No goroutines run until Start.
 func New(cfg Config) (*Server, error) {
 	cfg.fill()
+	prof, err := device.Lookup(cfg.Backend)
+	if err != nil {
+		return nil, fmt.Errorf("server: %v", err)
+	}
 	db := pulse.NewDB()
+	db.SetFingerprint(prof.Fingerprint())
 	if cfg.DBPath != "" {
-		loaded, ok, err := pulse.LoadFile(cfg.DBPath)
+		loaded, ok, err := pulse.LoadFileFor(cfg.DBPath, prof.Fingerprint())
 		if err != nil {
 			return nil, fmt.Errorf("server: loading pulse DB: %v", err)
 		}
 		db = loaded
 		if ok {
-			cfg.Logger.Info("pulse DB loaded", "entries", db.Len(), "path", cfg.DBPath)
+			cfg.Logger.Info("pulse DB loaded", "entries", db.Len(), "path", cfg.DBPath, "backend", prof.Name)
 		}
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:        cfg,
-		topo:       topology.Grid(cfg.GridRows, cfg.GridCols),
+		profile:    prof,
 		db:         db,
+		dbs:        make(map[string]*pulse.DB),
 		reg:        obs.NewRegistry(),
 		jobs:       newJobStore(cfg.JobRetention),
 		queue:      make(chan *Job, cfg.QueueDepth),
@@ -200,8 +223,41 @@ func New(cfg Config) (*Server, error) {
 // Registry exposes the shared metrics registry (served by GET /metrics).
 func (s *Server) Registry() *obs.Registry { return s.reg }
 
-// DB exposes the shared pulse database.
+// DB exposes the default backend's shared pulse database.
 func (s *Server) DB() *pulse.DB { return s.db }
+
+// profileFor resolves a request's backend name: empty selects the server
+// default, anything else must name a registered or dynamic device profile.
+func (s *Server) profileFor(name string) (*device.Profile, error) {
+	if name == "" || name == s.profile.Name {
+		return s.profile, nil
+	}
+	return device.Lookup(name)
+}
+
+// dbFor returns the pulse database for a job's backend, lazily creating a
+// fingerprint-namespaced one for non-default backends. Those stay
+// in-memory only: persistence (DBPath) is reserved for the default
+// backend's database, which is also the one most requests warm.
+func (s *Server) dbFor(prof *device.Profile) *pulse.DB {
+	if prof.Name == s.profile.Name {
+		return s.db
+	}
+	s.dbmu.Lock()
+	defer s.dbmu.Unlock()
+	db, ok := s.dbs[prof.Name]
+	if !ok {
+		db = pulse.NewDB()
+		db.SetFingerprint(prof.Fingerprint())
+		db.SetMetrics(s.reg)
+		if s.cfg.DBMaxEntries > 0 {
+			db.SetMaxEntries(s.cfg.DBMaxEntries)
+		}
+		s.dbs[prof.Name] = db
+		s.cfg.Logger.Info("pulse DB created", "backend", prof.Name, "fingerprint", prof.Fingerprint())
+	}
+	return db
+}
 
 // Start launches the worker pool and the periodic DB snapshotter, then
 // marks the server ready.

@@ -279,7 +279,7 @@ func TestDrainDeadlineCancelsStragglers(t *testing.T) {
 		<-ctx.Done()
 		return nil, ctx.Err()
 	}
-	j := s.jobs.add(&Request{Circuit: tinyCircuit}, nil, time.Hour)
+	j := s.jobs.add(&Request{Circuit: tinyCircuit}, nil, s.profile, time.Hour)
 	if err := s.Submit(j); err != nil {
 		t.Fatal(err)
 	}
@@ -305,11 +305,11 @@ func TestSubmitDirectQueueFull(t *testing.T) {
 		t.Fatal(err)
 	}
 	// No Start: nothing consumes the queue, so the single slot fills.
-	j1 := s.jobs.add(&Request{}, nil, time.Second)
+	j1 := s.jobs.add(&Request{}, nil, s.profile, time.Second)
 	if err := s.Submit(j1); err != nil {
 		t.Fatal(err)
 	}
-	j2 := s.jobs.add(&Request{}, nil, time.Second)
+	j2 := s.jobs.add(&Request{}, nil, s.profile, time.Second)
 	if err := s.Submit(j2); err != ErrQueueFull {
 		t.Fatalf("Submit on full queue = %v, want ErrQueueFull", err)
 	}
@@ -320,7 +320,7 @@ func TestJobRetention(t *testing.T) {
 	store := newJobStore(2)
 	var ids []string
 	for i := 0; i < 4; i++ {
-		j := store.add(&Request{}, nil, time.Second)
+		j := store.add(&Request{}, nil, nil, time.Second)
 		j.finish(&Result{}, nil, false, false)
 		store.retired(j)
 		ids = append(ids, j.ID)

@@ -4,7 +4,10 @@
 // graphs are provided for tests and ablations.
 package topology
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Topology is an undirected coupling graph over physical qubits 0..N-1.
 type Topology struct {
@@ -38,16 +41,21 @@ func (t *Topology) AddEdge(a, b int) {
 // Connected reports whether a and b are directly coupled.
 func (t *Topology) Connected(a, b int) bool { return t.adj[a][b] }
 
-// Neighbors returns the neighbours of q (order unspecified).
+// Neighbors returns the neighbours of q in ascending order. The adjacency
+// is a Go map, so the order must be imposed here: routing decisions and the
+// device fingerprints built on top of this package need the same answer on
+// every run.
 func (t *Topology) Neighbors(q int) []int {
 	out := make([]int, 0, len(t.adj[q]))
 	for n := range t.adj[q] {
 		out = append(out, n)
 	}
+	sort.Ints(out)
 	return out
 }
 
-// Edges returns all undirected edges once, with a < b.
+// Edges returns all undirected edges once, with a < b, sorted
+// lexicographically.
 func (t *Topology) Edges() [][2]int {
 	var out [][2]int
 	for a, ns := range t.adj {
@@ -57,6 +65,12 @@ func (t *Topology) Edges() [][2]int {
 			}
 		}
 	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
 	return out
 }
 

@@ -1,6 +1,10 @@
 package topology
 
-import "testing"
+import (
+	"reflect"
+	"sort"
+	"testing"
+)
 
 func TestGridStructure(t *testing.T) {
 	g := Grid(5, 5)
@@ -126,4 +130,65 @@ func TestHeavyHex(t *testing.T) {
 		}
 	}()
 	HeavyHex(0)
+}
+
+func TestHeavyHexInvariants(t *testing.T) {
+	for cells := 1; cells <= 6; cells++ {
+		h := HeavyHex(cells)
+		if want := 5*cells + 3; h.NumQubits != want {
+			t.Errorf("cells=%d: qubits = %d, want %d", cells, h.NumQubits, want)
+		}
+		// Rail edges: 2*cells per rail; bridge edges: 2*(cells+1).
+		if want := 4*cells + 2*(cells+1); len(h.Edges()) != want {
+			t.Errorf("cells=%d: edges = %d, want %d", cells, len(h.Edges()), want)
+		}
+		for q := 0; q < h.NumQubits; q++ {
+			if deg := len(h.Neighbors(q)); deg > 3 {
+				t.Errorf("cells=%d: qubit %d has degree %d > 3", cells, q, deg)
+			}
+		}
+		d := h.Distances()
+		for i := 0; i < h.NumQubits; i++ {
+			for j := 0; j < h.NumQubits; j++ {
+				if d[i][j] > h.NumQubits {
+					t.Fatalf("cells=%d: disconnected pair %d,%d", cells, i, j)
+				}
+			}
+		}
+	}
+}
+
+// Neighbors and Edges are built from map iteration; the API promises a
+// sorted, run-to-run stable order (routing and device fingerprints depend
+// on it).
+func TestNeighborsAndEdgesSorted(t *testing.T) {
+	for name, topo := range map[string]*Topology{
+		"grid":     Grid(4, 5),
+		"heavyhex": HeavyHex(3),
+		"ring":     Ring(7),
+		"full":     FullyConnected(6),
+	} {
+		for q := 0; q < topo.NumQubits; q++ {
+			ns := topo.Neighbors(q)
+			if !sort.IntsAreSorted(ns) {
+				t.Errorf("%s: Neighbors(%d) = %v not sorted", name, q, ns)
+			}
+		}
+		edges := topo.Edges()
+		sorted := sort.SliceIsSorted(edges, func(i, j int) bool {
+			if edges[i][0] != edges[j][0] {
+				return edges[i][0] < edges[j][0]
+			}
+			return edges[i][1] < edges[j][1]
+		})
+		if !sorted {
+			t.Errorf("%s: Edges() not sorted: %v", name, edges)
+		}
+		// Stable across calls (the map behind it would not be).
+		for i := 0; i < 5; i++ {
+			if again := topo.Edges(); !reflect.DeepEqual(edges, again) {
+				t.Fatalf("%s: Edges() changed between calls", name)
+			}
+		}
+	}
 }
