@@ -12,6 +12,7 @@
 package repro_test
 
 import (
+	"context"
 	"io"
 	"testing"
 
@@ -182,7 +183,7 @@ func compileQaoa(b *testing.B, mutate func(*paqoc.Config)) {
 		cfg.ProbeCaseII = false
 		mutate(&cfg)
 		comp := paqoc.New(nil, p.Topo, cfg)
-		if _, err := comp.Compile(phys); err != nil {
+		if _, err := comp.CompileCtx(context.Background(), phys); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -252,7 +253,7 @@ func BenchmarkAblationPulseDB(b *testing.B) {
 			cfg := paqoc.DefaultConfig()
 			cfg.ProbeCaseII = false
 			comp := paqoc.New(gen, p.Topo, cfg)
-			if _, err := comp.Compile(phys); err != nil {
+			if _, err := comp.CompileCtx(context.Background(), phys); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -281,7 +282,7 @@ func BenchmarkAblationPermutationDetection(b *testing.B) {
 			cfg := paqoc.DefaultConfig()
 			cfg.ProbeCaseII = false
 			comp := paqoc.New(m, p.Topo, cfg)
-			if _, err := comp.Compile(phys); err != nil {
+			if _, err := comp.CompileCtx(context.Background(), phys); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -346,7 +347,7 @@ func BenchmarkParallelEmit(b *testing.B) {
 			cfg.FidelityTarget = 0.95
 			cfg.Workers = workers
 			comp := paqoc.New(gen, topo, cfg)
-			res, err := comp.Compile(c)
+			res, err := comp.CompileCtx(context.Background(), c)
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -31,6 +31,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -61,21 +62,43 @@ func run() error {
 		backend   = flag.String("backend", device.DefaultName, "default device profile: a registered name or a dynamic one like xy-grid-3x4 (requests may override per job)")
 		pprofAddr = flag.String("pprof", "", "serve /debug/pprof on this separate address (e.g. localhost:6060); empty disables")
 		logLevel  = flag.String("log-level", "info", "structured-log threshold: debug, info, warn, or error")
+
+		peers         = flag.String("peers", "", "comma-separated replica addresses (host:port of each replica's -cluster-listen) forming the warm-store replication group; empty = standalone")
+		clusterListen = flag.String("cluster-listen", "", "serve the internal replication RPC on this separate (private) address; required when -peers is set")
+		clusterSelf   = flag.String("cluster-self", "", "this replica's advertised address in -peers (default: -cluster-listen)")
+		clusterRPCTO  = flag.Duration("cluster-timeout", 2*time.Second, "per-peer replication RPC timeout")
+		tenantMax     = flag.Int("tenant-max-inflight", 0, "per-tenant cap on queued+running jobs; a tenant at the cap gets 429 (0 = unlimited)")
 	)
 	flag.Parse()
 
+	var peerList []string
+	if *peers != "" {
+		peerList = strings.Split(*peers, ",")
+		if *clusterListen == "" {
+			return fmt.Errorf("-peers requires -cluster-listen (the private replication listener)")
+		}
+	}
+	self := *clusterSelf
+	if self == "" {
+		self = *clusterListen
+	}
+
 	logger := obs.NewStderrLogger(obs.ParseLevel(*logLevel))
 	srv, err := server.New(server.Config{
-		Workers:          *workers,
-		QueueDepth:       *queue,
-		SyncGateLimit:    *syncGates,
-		DefaultTimeout:   *timeout,
-		MaxTimeout:       *maxTO,
-		DBPath:           *dbPath,
-		DBMaxEntries:     *dbMax,
-		SnapshotInterval: *snapshot,
-		Backend:          *backend,
-		Logger:           logger,
+		Workers:           *workers,
+		QueueDepth:        *queue,
+		SyncGateLimit:     *syncGates,
+		DefaultTimeout:    *timeout,
+		MaxTimeout:        *maxTO,
+		DBPath:            *dbPath,
+		DBMaxEntries:      *dbMax,
+		SnapshotInterval:  *snapshot,
+		Backend:           *backend,
+		Logger:            logger,
+		ClusterSelf:       self,
+		ClusterPeers:      peerList,
+		ClusterTimeout:    *clusterRPCTO,
+		TenantMaxInflight: *tenantMax,
 	})
 	if err != nil {
 		return err
@@ -93,6 +116,21 @@ func run() error {
 		go func() { _ = pprofSrv.Serve(pln) }()
 		defer pprofSrv.Close()
 		logger.Info("pprof serving", "addr", fmt.Sprintf("http://%s/debug/pprof/", pln.Addr()))
+	}
+
+	// The replication RPC, like pprof, lives on its own listener: it is
+	// unauthenticated and mutates the warm store, so it must stay on a
+	// private (replica-to-replica) network, never the public API address.
+	if *clusterListen != "" {
+		cln, err := net.Listen("tcp", *clusterListen)
+		if err != nil {
+			return fmt.Errorf("cluster: %v", err)
+		}
+		clSrv := &http.Server{Handler: srv.ClusterHandler()}
+		go func() { _ = clSrv.Serve(cln) }()
+		defer clSrv.Close()
+		logger.Info("cluster replication serving", "addr", cln.Addr().String(),
+			"self", self, "peers", *peers)
 	}
 
 	ln, err := net.Listen("tcp", *addr)

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -25,7 +26,7 @@ func main() {
 	}
 	cfg := paqoc.DefaultConfig()
 	cfg.M = paqoc.MInf
-	res, err := paqoc.New(nil, topo, cfg).Compile(phys)
+	res, err := paqoc.New(nil, topo, cfg).CompileCtx(context.Background(), phys)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -52,16 +52,8 @@ type Result struct {
 	NumBlocks    int
 }
 
-// Compile partitions the circuit and generates pulses per group.
-//
-// Deprecated: use CompileCtx; this wrapper delegates with a background
-// context.
-func Compile(c *circuit.Circuit, gen pulse.Generator, opts Options) (*Result, error) {
-	return CompileCtx(context.Background(), c, gen, opts)
-}
-
-// CompileCtx is the real compilation entry point, with observability —
-// the baseline carries the same
+// CompileCtx partitions the circuit and generates pulses per group, with
+// observability — the baseline carries the same
 // instrumentation as the PAQOC path so per-stage latency breakdowns
 // compare like for like: spans accqoc.partition, accqoc.order, and
 // accqoc.emit under accqoc.compile, plus group counters.

@@ -1,6 +1,7 @@
 package accqoc
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -107,7 +108,7 @@ func TestCompilePreservesSemantics(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := Compile(c, latency.NewModel(), N3D3())
+		res, err := CompileCtx(context.Background(), c, latency.NewModel(), N3D3())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -132,7 +133,7 @@ func TestDepth5MergesMoreThanDepth3(t *testing.T) {
 
 func TestCompileProducesPulsesAndMetrics(t *testing.T) {
 	c := randomCircuit(1, 5, 40)
-	res, err := Compile(c, latency.NewModel(), N3D5())
+	res, err := CompileCtx(context.Background(), c, latency.NewModel(), N3D5())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,11 +158,11 @@ func TestGroupingBeatsPerGateLatency(t *testing.T) {
 	// beat the fixed-gate (one pulse per gate) lower bound.
 	c := randomCircuit(2, 5, 50)
 	model := latency.NewModel()
-	res, err := Compile(c, model, N3D3())
+	res, err := CompileCtx(context.Background(), c, model, N3D3())
 	if err != nil {
 		t.Fatal(err)
 	}
-	perGate, err := Compile(c, latency.NewModel(), Options{MaxQubits: 3, Depth: 1, FidelityTarget: 0.999})
+	perGate, err := CompileCtx(context.Background(), c, latency.NewModel(), Options{MaxQubits: 3, Depth: 1, FidelityTarget: 0.999})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,7 +202,7 @@ func BenchmarkCompileN3D3(b *testing.B) {
 	c := randomCircuit(9, 6, 80)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := Compile(c, latency.NewModel(), N3D3()); err != nil {
+		if _, err := CompileCtx(context.Background(), c, latency.NewModel(), N3D3()); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,52 @@
+package api
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestWriteErrorEnvelope pins the wire shape of the error envelope: the
+// exact {"error":{"code","message"}} nesting, the status code, and the
+// content type.
+func TestWriteErrorEnvelope(t *testing.T) {
+	rec := httptest.NewRecorder()
+	WriteError(rec, 429, CodeQueueFull, "job queue is full")
+	if rec.Code != 429 {
+		t.Errorf("status = %d, want 429", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type = %q, want application/json", ct)
+	}
+	var env ErrorResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil {
+		t.Fatalf("body %q: %v", rec.Body.String(), err)
+	}
+	if env.Error.Code != CodeQueueFull || env.Error.Message != "job queue is full" {
+		t.Errorf("envelope = %+v", env)
+	}
+}
+
+// TestJobStatusWireNames pins the JSON field names clients depend on —
+// renaming one is a wire break that must be deliberate.
+func TestJobStatusWireNames(t *testing.T) {
+	raw, err := json.Marshal(CompileResponse{
+		JobStatus: JobStatus{JobID: "job-1", State: StateQueued, Backend: "b"},
+		Poll:      "/v1/jobs/job-1",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"job_id", "status", "backend", "poll"} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("wire field %q missing from %s", key, raw)
+		}
+	}
+	if m["status"] != "queued" {
+		t.Errorf("status = %v, want \"queued\"", m["status"])
+	}
+}

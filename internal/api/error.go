@@ -1,0 +1,76 @@
+package api
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Error codes. Machine-readable, stable across releases: clients branch on
+// Code, never on Message text. Each code documents the HTTP status it
+// rides on.
+const (
+	// CodeBadRequest (400): malformed JSON, no circuit source, conflicting
+	// sources, or an out-of-range knob.
+	CodeBadRequest = "bad_request"
+	// CodeUnknownBackend (400): the requested backend names no registered
+	// or dynamic device profile.
+	CodeUnknownBackend = "unknown_backend"
+	// CodeJobNotFound (404): no live or retained job has that id.
+	CodeJobNotFound = "job_not_found"
+	// CodeNotFound (404): the path names no resource on this API.
+	CodeNotFound = "not_found"
+	// CodeMethodNotAllowed (405): wrong HTTP method for the path.
+	CodeMethodNotAllowed = "method_not_allowed"
+	// CodeQueueFull (429): the job queue is at capacity; retry after the
+	// Retry-After header.
+	CodeQueueFull = "queue_full"
+	// CodeTenantQuota (429): the request's tenant is at its in-flight job
+	// cap; retry after the Retry-After header.
+	CodeTenantQuota = "tenant_quota"
+	// CodeDraining (503): the server is shutting down and accepts no new
+	// work.
+	CodeDraining = "draining"
+	// CodeStreamUnsupported (500): the connection cannot stream SSE
+	// (no http.Flusher).
+	CodeStreamUnsupported = "stream_unsupported"
+	// CodeUnknownKey (404, internal RPC): the replication peer has no entry
+	// for the requested pulse key.
+	CodeUnknownKey = "unknown_key"
+	// CodeBadEntry (400, internal RPC): a published pulse entry failed
+	// decode-side validation (shape, finiteness, unitarity).
+	CodeBadEntry = "bad_entry"
+	// CodeWrongFingerprint (409, internal RPC): the entry or snapshot is
+	// namespaced to a different backend fingerprint than the receiver
+	// serves.
+	CodeWrongFingerprint = "wrong_fingerprint"
+	// CodeInternal (500): unexpected server-side failure.
+	CodeInternal = "internal"
+)
+
+// Error is the machine-readable error detail inside ErrorResponse.
+type Error struct {
+	// Code is one of the Code… constants.
+	Code string `json:"code"`
+	// Message is a human-readable explanation. Free text; not for
+	// programmatic matching.
+	Message string `json:"message"`
+}
+
+// ErrorResponse is the uniform envelope of every non-2xx response on the
+// public and internal APIs: {"error":{"code":"…","message":"…"}}. The one
+// exception is a synchronous compile whose job reached a terminal failure
+// (504 deadline, 422 compile error): those bodies are the job's JobStatus —
+// a resource representation that carries the failure detail — not this
+// envelope.
+type ErrorResponse struct {
+	Error Error `json:"error"`
+}
+
+// WriteError writes the envelope with the given status. Headers that must
+// accompany the status (Retry-After on 429/503, Allow on 405) are the
+// caller's to set beforehand.
+func WriteError(w http.ResponseWriter, status int, code, message string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(ErrorResponse{Error: Error{Code: code, Message: message}})
+}

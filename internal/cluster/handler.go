@@ -1,0 +1,101 @@
+package cluster
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"paqoc/internal/api"
+	"paqoc/internal/pulse"
+)
+
+// maxEntryBytes bounds one wire entry (and caps the decoder on both sides
+// of the RPC). A 3-qubit entry with a long schedule is tens of kilobytes;
+// anything near this limit is garbage, not a pulse.
+const maxEntryBytes = 16 << 20
+
+// maxSnapshotBytes bounds a shipped snapshot merge.
+const maxSnapshotBytes = 256 << 20
+
+// Handler serves the internal v1 replication RPC. resolve maps a backend
+// fingerprint to that backend's live pulse database — fetching lazily is
+// the server's choice (a replica may own keys for a backend it has not
+// compiled for yet); ok=false refuses the fingerprint entirely.
+//
+// The handler is mounted on the private -cluster-listen address, never on
+// the public API listener; like -pprof it trusts its network boundary.
+//
+//	GET /internal/v1/ping                          liveness, 204
+//	GET /internal/v1/pulse/{fingerprint}/{key}     owner lookup, PulseEntry or 404
+//	PUT /internal/v1/pulse/{fingerprint}/{key}     write-through publish, 204
+//	PUT /internal/v1/snapshot/{fingerprint}        bulk merge, MergeReport
+func (c *Cluster) Handler(resolve func(fingerprint string) (*pulse.DB, bool)) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /internal/v1/ping", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("GET /internal/v1/pulse/{fingerprint}/{key}", func(w http.ResponseWriter, r *http.Request) {
+		db, ok := resolve(r.PathValue("fingerprint"))
+		if !ok {
+			api.WriteError(w, http.StatusConflict, api.CodeWrongFingerprint, "this replica does not serve that backend fingerprint")
+			return
+		}
+		e, ok := db.EntryByKey(r.PathValue("key"))
+		if !ok {
+			api.WriteError(w, http.StatusNotFound, api.CodeUnknownKey, "no entry for key")
+			return
+		}
+		we, ok := pulse.EncodeEntry(e)
+		if !ok {
+			// A non-finite entry cannot cross the wire; to the peer it does
+			// not exist.
+			api.WriteError(w, http.StatusNotFound, api.CodeUnknownKey, "no entry for key")
+			return
+		}
+		c.counter("cluster.serve_hits").Inc()
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(api.PulseEntry(we))
+	})
+	mux.HandleFunc("PUT /internal/v1/pulse/{fingerprint}/{key}", func(w http.ResponseWriter, r *http.Request) {
+		db, ok := resolve(r.PathValue("fingerprint"))
+		if !ok {
+			api.WriteError(w, http.StatusConflict, api.CodeWrongFingerprint, "this replica does not serve that backend fingerprint")
+			return
+		}
+		var we api.PulseEntry
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxEntryBytes)).Decode(&we); err != nil {
+			api.WriteError(w, http.StatusBadRequest, api.CodeBadEntry, err.Error())
+			return
+		}
+		u, g, err := we.Decode()
+		if err != nil {
+			api.WriteError(w, http.StatusBadRequest, api.CodeBadEntry, err.Error())
+			return
+		}
+		if pulse.CanonicalKey(u) != r.PathValue("key") {
+			api.WriteError(w, http.StatusBadRequest, api.CodeBadEntry, "entry unitary does not match the key it was published under")
+			return
+		}
+		db.Merge(u, g, we.Protected)
+		c.counter("cluster.serve_merges").Inc()
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("PUT /internal/v1/snapshot/{fingerprint}", func(w http.ResponseWriter, r *http.Request) {
+		db, ok := resolve(r.PathValue("fingerprint"))
+		if !ok {
+			api.WriteError(w, http.StatusConflict, api.CodeWrongFingerprint, "this replica does not serve that backend fingerprint")
+			return
+		}
+		rep, err := db.MergeSnapshot(http.MaxBytesReader(w, r.Body, maxSnapshotBytes))
+		if err != nil {
+			api.WriteError(w, http.StatusBadRequest, api.CodeBadEntry, err.Error())
+			return
+		}
+		c.counter("cluster.serve_merges").Inc()
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(api.MergeReport(rep))
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		api.WriteError(w, http.StatusNotFound, api.CodeNotFound, "unknown internal RPC path")
+	})
+	return mux
+}

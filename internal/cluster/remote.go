@@ -1,0 +1,141 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+
+	"paqoc/internal/api"
+	"paqoc/internal/linalg"
+	"paqoc/internal/pulse"
+)
+
+// Remote is the pulse.Remote implementation for one backend fingerprint:
+// the hook the GRAPE generator consults on local database misses and
+// publishes fresh pulses through. One Cluster serves many Remotes — one
+// per backend a replica compiles for — and ownership is computed over the
+// fingerprint-namespaced key, so backends partition independently.
+type Remote struct {
+	c           *Cluster
+	fingerprint string
+}
+
+var _ pulse.Remote = (*Remote)(nil)
+
+// RemoteFor returns the remote pulse source for one backend fingerprint.
+func (c *Cluster) RemoteFor(fingerprint string) *Remote {
+	return &Remote{c: c, fingerprint: fingerprint}
+}
+
+// pulseURL builds the replication RPC URL for a canonical key on a peer.
+func (r *Remote) pulseURL(peer, canonical string) string {
+	return fmt.Sprintf("%s/internal/v1/pulse/%s/%s",
+		baseURL(peer), url.PathEscape(r.fingerprint), url.PathEscape(canonical))
+}
+
+// owner resolves the owning peer of u's key; ok is false when that is
+// this replica itself (nothing to ask) or the cluster is standalone.
+func (r *Remote) owner(u *linalg.Matrix) (peer, canonical string, ok bool) {
+	if !r.c.Enabled() {
+		return "", "", false
+	}
+	canonical = pulse.CanonicalKey(u)
+	peer = r.c.Owner(pulse.NamespacedKey(r.fingerprint, canonical))
+	return peer, canonical, peer != r.c.self
+}
+
+// FetchPulse asks u's owner replica for an already-generated pulse.
+// It returns false on owner-is-self, open breaker, timeout, transport
+// failure, peer miss, or an entry that fails validation — every failure
+// mode means "generate locally", never an error.
+func (r *Remote) FetchPulse(ctx context.Context, u *linalg.Matrix) (*pulse.Generated, bool) {
+	peer, canonical, ok := r.owner(u)
+	if !ok || !r.c.allow(peer) {
+		return nil, false
+	}
+	ctx, cancel := context.WithTimeout(ctx, r.c.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.pulseURL(peer, canonical), nil)
+	if err != nil {
+		return nil, false
+	}
+	resp, err := r.c.client.Do(req)
+	if err != nil {
+		r.c.failure(peer, err)
+		return nil, false
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	r.c.success(peer)
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusNotFound:
+		r.c.counter("cluster.peer_misses").Inc()
+		return nil, false
+	default:
+		r.c.counter("cluster.peer_errors").Inc()
+		return nil, false
+	}
+	var we api.PulseEntry
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxEntryBytes)).Decode(&we); err != nil {
+		r.c.counter("cluster.peer_errors").Inc()
+		return nil, false
+	}
+	ru, g, err := we.Decode()
+	if err != nil || pulse.CanonicalKey(ru) != canonical {
+		// A peer shipping a different unitary than asked for (corruption,
+		// version skew) must not be warmed into the local store.
+		r.c.counter("cluster.peer_errors").Inc()
+		return nil, false
+	}
+	r.c.counter("cluster.peer_hits").Inc()
+	return g, true
+}
+
+// PublishPulse write-through-ships a freshly generated pulse to u's owner
+// replica so the next replica to miss on this key finds it warm there.
+// Self-owned keys and all failures are silently dropped: the local store
+// already has the pulse, and replication is an optimization.
+func (r *Remote) PublishPulse(ctx context.Context, u *linalg.Matrix, g *pulse.Generated) {
+	peer, canonical, ok := r.owner(u)
+	if !ok || !r.c.allow(peer) {
+		return
+	}
+	we, ok := pulse.EncodeWire(u, g, false)
+	if !ok {
+		return
+	}
+	body, err := json.Marshal(we)
+	if err != nil {
+		return
+	}
+	// Detach from the job's cancellation: the pulse is already generated
+	// and the publish should survive the request that paid for it, bounded
+	// by the RPC timeout alone.
+	ctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), r.c.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, r.pulseURL(peer, canonical), bytes.NewReader(body))
+	if err != nil {
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := r.c.client.Do(req)
+	if err != nil {
+		r.c.failure(peer, err)
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	r.c.success(peer)
+	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
+		r.c.counter("cluster.peer_errors").Inc()
+		return
+	}
+	r.c.counter("cluster.publishes").Inc()
+}

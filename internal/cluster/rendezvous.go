@@ -1,0 +1,48 @@
+package cluster
+
+import "hash/fnv"
+
+// Owner picks key's owner from peers by rendezvous (highest-random-weight)
+// hashing: every member scores every (peer, key) pair with the same
+// deterministic hash and the highest score wins. All replicas agree
+// without coordination, each key's load lands on exactly one member, and
+// removing a peer reassigns only that peer's keys (the surviving peers'
+// scores are unchanged — no global reshuffle, unlike modulo hashing).
+//
+// The score hash is FNV-1a, not the runtime's seeded maphash: ownership
+// must be identical across processes and restarts, which a per-process
+// seed would break.
+func Owner(peers []string, key string) string {
+	best, bestScore := "", uint64(0)
+	for _, p := range peers {
+		s := score(p, key)
+		// Tie-break on the lexically smaller peer so the choice stays
+		// total-ordered even in the (vanishing) event of a score collision.
+		if best == "" || s > bestScore || (s == bestScore && p < best) {
+			best, bestScore = p, s
+		}
+	}
+	return best
+}
+
+// score hashes one (peer, key) pair. The NUL separator keeps ("ab","c")
+// and ("a","bc") from colliding. The key goes first and the peer last —
+// peers typically differ in one byte, and feeding that byte into an
+// already well-mixed per-key state decorrelates the scores across keys —
+// then a splitmix64-style finalizer avalanches the tail bytes' influence
+// into the high bits the comparison is decided by (raw FNV leaves peers
+// in near-identical relative order for every key, collapsing the
+// "random" in highest-random-weight onto one peer).
+func score(peer, key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	h.Write([]byte{0})
+	h.Write([]byte(peer))
+	s := h.Sum64()
+	s ^= s >> 30
+	s *= 0xbf58476d1ce4e5b9
+	s ^= s >> 27
+	s *= 0x94d049bb133111eb
+	s ^= s >> 31
+	return s
+}

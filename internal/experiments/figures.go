@@ -96,7 +96,7 @@ func Fig6(limit int) (*Fig6Result, error) {
 			var sum float64
 			ok := true
 			for _, g := range run {
-				gen, err := model.Generate(pulse.NewCustomGate([]circuit.Gate{g}), 0.999)
+				gen, err := model.GenerateCtx(context.Background(), pulse.NewCustomGate([]circuit.Gate{g}), 0.999)
 				if err != nil {
 					ok = false
 					break
@@ -107,7 +107,7 @@ func Fig6(limit int) (*Fig6Result, error) {
 				continue
 			}
 			cg := pulse.NewCustomGate(run)
-			gen, err := model.Generate(cg, 0.999)
+			gen, err := model.GenerateCtx(context.Background(), cg, 0.999)
 			if err != nil {
 				continue
 			}

@@ -31,6 +31,12 @@ type Generator struct {
 	// their control bounds and error terms (device.Profile.SystemBuilder).
 	// When nil, the paper's platform (hamiltonian.XYTransmon) is used.
 	System func(n int, pairs [][2]int) *hamiltonian.System
+	// Remote optionally consults a cross-replica pulse source on local DB
+	// misses (cluster.Remote): the key's owner replica is asked before
+	// paying for optimization, and fresh results are write-through
+	// published to it. Best-effort — peer failures fall back to local
+	// generation.
+	Remote pulse.Remote
 }
 
 // NewGenerator returns a GRAPE-backed generator with a fresh pulse DB.
@@ -44,21 +50,12 @@ func NewGenerator(opts Options) *Generator {
 const convergenceSampleEvery = 25
 
 var (
-	_ pulse.Generator       = (*Generator)(nil)
-	_ pulse.LegacyGenerator = (*Generator)(nil)
-	_ pulse.DBProvider      = (*Generator)(nil)
+	_ pulse.Generator  = (*Generator)(nil)
+	_ pulse.DBProvider = (*Generator)(nil)
 )
 
 // PulseDB exposes the backing pulse database (may be nil).
 func (g *Generator) PulseDB() *pulse.DB { return g.DB }
-
-// Generate produces pulses for one customized gate.
-//
-// Deprecated: use GenerateCtx; this wrapper delegates with a background
-// context.
-func (g *Generator) Generate(cg *pulse.CustomGate, fidelityTarget float64) (*pulse.Generated, error) {
-	return g.GenerateCtx(context.Background(), cg, fidelityTarget)
-}
 
 // GenerateCtx produces pulses for one customized gate, with observability:
 // a "grape.generate" span per customized gate and counters for database
@@ -80,10 +77,10 @@ func (g *Generator) GenerateCtx(ctx context.Context, cg *pulse.CustomGate, fidel
 		return nil, fmt.Errorf("grape: %v", err)
 	}
 	if g.DB == nil {
-		return g.optimize(ctx, cg, u, fidelityTarget)
+		return g.generateOrFetch(ctx, cg, u, fidelityTarget)
 	}
 
-	generate := func() (*pulse.Generated, error) { return g.optimize(ctx, cg, u, fidelityTarget) }
+	generate := func() (*pulse.Generated, error) { return g.generateOrFetch(ctx, cg, u, fidelityTarget) }
 	gen, perm, outcome, err := g.DB.Do(u, generate)
 	if err != nil {
 		return nil, err
@@ -120,6 +117,27 @@ func (g *Generator) GenerateCtx(ctx context.Context, cg *pulse.CustomGate, fidel
 	}
 	fresh, _, _, err := g.DB.DoExact(u, generate)
 	return fresh, err
+}
+
+// generateOrFetch is the true-miss path, invoked at most once per
+// canonical key when a DB coalesces callers: ask the key's owner replica
+// first (a peer may already have paid for this optimization), and on a
+// remote miss optimize locally and write-through-publish the result to
+// the owner. Without a Remote this is exactly optimize.
+func (g *Generator) generateOrFetch(ctx context.Context, cg *pulse.CustomGate, u *linalg.Matrix, fidelityTarget float64) (*pulse.Generated, error) {
+	if g.Remote != nil {
+		if got, ok := g.Remote.FetchPulse(ctx, u); ok {
+			obs.MetricsFrom(ctx).Counter("grape.remote_hits").Inc()
+			got.CacheHit = true
+			got.Cost = 0
+			return got, nil
+		}
+	}
+	gen, err := g.optimize(ctx, cg, u, fidelityTarget)
+	if err == nil && g.Remote != nil {
+		g.Remote.PublishPulse(ctx, u, gen)
+	}
+	return gen, err
 }
 
 // optimize runs the warm-started minimum-time search for one unitary. It

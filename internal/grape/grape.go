@@ -158,15 +158,6 @@ func growRows(rows [][]float64, nc, slices int) [][]float64 {
 	return rows
 }
 
-// Optimize runs GRAPE for a fixed number of slices against the target
-// unitary on the given system and returns the best controls found.
-//
-// Deprecated: use OptimizeCtx; this wrapper delegates with a background
-// context.
-func Optimize(sys *hamiltonian.System, target *linalg.Matrix, slices int, opts Options) *Result {
-	return OptimizeCtx(context.Background(), sys, target, slices, opts)
-}
-
 // OptimizeCtx is the real optimizer entry point, with observability: when
 // the context carries a metrics registry, per-iteration counters
 // (grape.iterations, grape.expm) and the gradient-norm histogram are
@@ -366,18 +357,11 @@ func copyAmps(dst, src [][]float64) {
 	}
 }
 
-// MinimumTime binary-searches the smallest slice count whose optimized
+// MinimumTimeCtx binary-searches the smallest slice count whose optimized
 // fidelity reaches the target (§V-B: "the minimum duration of the control
 // pulses of a customized gate by binary search"). It returns the winning
-// schedule, its latency in dt, and the achieved fidelity.
-//
-// Deprecated: use MinimumTimeCtx; this wrapper delegates with a
-// background context.
-func MinimumTime(sys *hamiltonian.System, target *linalg.Matrix, opts Options) (*pulse.Schedule, float64, float64, error) {
-	return MinimumTimeCtx(context.Background(), sys, target, opts)
-}
-
-// MinimumTimeCtx is the real minimum-time search, with observability: one
+// schedule, its latency in dt, and the achieved fidelity, with
+// observability: one
 // span per duration probe ("grape.binsearch.probe", tagged with the slice
 // count and achieved fidelity) under a "grape.binsearch" span, plus probe
 // counters. All duration probes share one buffer arena, so the search

@@ -1,6 +1,7 @@
 package grape
 
 import (
+	"context"
 	"testing"
 
 	"paqoc/internal/circuit"
@@ -13,7 +14,7 @@ import (
 
 func TestOptimizeXGate(t *testing.T) {
 	sys := hamiltonian.XYTransmon(1, nil)
-	r := Optimize(sys, quantum.MatX.Clone(), 8, DefaultOptions())
+	r := OptimizeCtx(context.Background(), sys, quantum.MatX.Clone(), 8, DefaultOptions())
 	if r.Fidelity < 0.999 {
 		t.Errorf("X fidelity %.6f", r.Fidelity)
 	}
@@ -21,7 +22,7 @@ func TestOptimizeXGate(t *testing.T) {
 
 func TestOptimizeRespectsBounds(t *testing.T) {
 	sys := hamiltonian.XYTransmon(1, nil)
-	r := Optimize(sys, quantum.MatH.Clone(), 8, DefaultOptions())
+	r := OptimizeCtx(context.Background(), sys, quantum.MatH.Clone(), 8, DefaultOptions())
 	for k, ch := range r.Amps {
 		for _, a := range ch {
 			if a > sys.Controls[k].Bound+1e-12 || a < -sys.Controls[k].Bound-1e-12 {
@@ -36,7 +37,7 @@ func TestOptimizeFidelityMatchesReplay(t *testing.T) {
 	// reproduce the reported fidelity.
 	sys := hamiltonian.XYTransmon(2, hamiltonian.LinearChain(2))
 	target := quantum.MatCX.Clone()
-	r := Optimize(sys, target, 24, DefaultOptions())
+	r := OptimizeCtx(context.Background(), sys, target, 24, DefaultOptions())
 	u := linalg.Identity(4)
 	amps := make([]float64, len(sys.Controls))
 	for j := 0; j < 24; j++ {
@@ -52,7 +53,7 @@ func TestOptimizeFidelityMatchesReplay(t *testing.T) {
 
 func TestMinimumTimeX(t *testing.T) {
 	sys := hamiltonian.XYTransmon(1, nil)
-	sched, latency, fid, err := MinimumTime(sys, quantum.MatX.Clone(), DefaultOptions())
+	sched, latency, fid, err := MinimumTimeCtx(context.Background(), sys, quantum.MatX.Clone(), DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +75,7 @@ func TestMinimumTimeInfeasible(t *testing.T) {
 	sys := hamiltonian.XYTransmon(2, hamiltonian.LinearChain(2))
 	opts := DefaultOptions()
 	opts.MaxSlices = 2 // nowhere near enough for a CX
-	if _, _, _, err := MinimumTime(sys, quantum.MatCX.Clone(), opts); err == nil {
+	if _, _, _, err := MinimumTimeCtx(context.Background(), sys, quantum.MatCX.Clone(), opts); err == nil {
 		t.Error("expected infeasibility error")
 	}
 }
@@ -86,17 +87,17 @@ func TestFig2ShapeMergedBeatsSeparate(t *testing.T) {
 	// absolute numbers).
 	opts := DefaultOptions()
 	sys1 := hamiltonian.XYTransmon(1, nil)
-	_, hLat, _, err := MinimumTime(sys1, quantum.MatH.Clone(), opts)
+	_, hLat, _, err := MinimumTimeCtx(context.Background(), sys1, quantum.MatH.Clone(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	sys2 := hamiltonian.XYTransmon(2, hamiltonian.LinearChain(2))
-	_, cxLat, _, err := MinimumTime(sys2, quantum.MatCX.Clone(), opts)
+	_, cxLat, _, err := MinimumTimeCtx(context.Background(), sys2, quantum.MatCX.Clone(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	merged := quantum.MatCX.Mul(quantum.MatH.Kron(quantum.MatI))
-	_, mLat, _, err := MinimumTime(sys2, merged, opts)
+	_, mLat, _, err := MinimumTimeCtx(context.Background(), sys2, merged, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,14 +110,14 @@ func TestFig2ShapeMergedBeatsSeparate(t *testing.T) {
 func TestGeneratorCacheHit(t *testing.T) {
 	gen := NewGenerator(DefaultOptions())
 	cg := pulse.NewCustomGate([]circuit.Gate{{Name: "h", Qubits: []int{0}}})
-	first, err := gen.Generate(cg, 0.999)
+	first, err := gen.GenerateCtx(context.Background(), cg, 0.999)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if first.CacheHit {
 		t.Error("first generation should miss")
 	}
-	second, err := gen.Generate(cg, 0.999)
+	second, err := gen.GenerateCtx(context.Background(), cg, 0.999)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,13 +132,13 @@ func TestGeneratorCacheHit(t *testing.T) {
 func TestGeneratorPermutationHit(t *testing.T) {
 	gen := NewGenerator(DefaultOptions())
 	cx01 := pulse.NewCustomGate([]circuit.Gate{{Name: "cx", Qubits: []int{0, 1}}})
-	if _, err := gen.Generate(cx01, 0.999); err != nil {
+	if _, err := gen.GenerateCtx(context.Background(), cx01, 0.999); err != nil {
 		t.Fatal(err)
 	}
 	// CX with control/target swapped is the same unitary with permuted
 	// qubits and must be served from the DB (§V-B).
 	cx10 := pulse.NewCustomGate([]circuit.Gate{{Name: "cx", Qubits: []int{1, 0}}})
-	got, err := gen.Generate(cx10, 0.999)
+	got, err := gen.GenerateCtx(context.Background(), cx10, 0.999)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +167,7 @@ func TestGeneratorTopologyCouplings(t *testing.T) {
 func TestGeneratorSymbolicGateFails(t *testing.T) {
 	gen := NewGenerator(DefaultOptions())
 	cg := pulse.NewCustomGate([]circuit.Gate{{Name: "rz", Symbol: "theta", Qubits: []int{0}}})
-	if _, err := gen.Generate(cg, 0.999); err == nil {
+	if _, err := gen.GenerateCtx(context.Background(), cg, 0.999); err == nil {
 		t.Error("expected error for symbolic gate")
 	}
 }
@@ -176,11 +177,11 @@ func TestWarmStartConverges(t *testing.T) {
 	// from a stored neighbour.
 	gen := NewGenerator(DefaultOptions())
 	a := pulse.NewCustomGate([]circuit.Gate{{Name: "rx", Params: []float64{1.0}, Qubits: []int{0}}})
-	if _, err := gen.Generate(a, 0.999); err != nil {
+	if _, err := gen.GenerateCtx(context.Background(), a, 0.999); err != nil {
 		t.Fatal(err)
 	}
 	b := pulse.NewCustomGate([]circuit.Gate{{Name: "rx", Params: []float64{1.1}, Qubits: []int{0}}})
-	got, err := gen.Generate(b, 0.999)
+	got, err := gen.GenerateCtx(context.Background(), b, 0.999)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,7 +195,7 @@ func BenchmarkGrapeXGate(b *testing.B) {
 	opts := DefaultOptions()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		Optimize(sys, quantum.MatX.Clone(), 8, opts)
+		OptimizeCtx(context.Background(), sys, quantum.MatX.Clone(), 8, opts)
 	}
 }
 
@@ -203,7 +204,7 @@ func BenchmarkGrapeCXMinimumTime(b *testing.B) {
 	opts := DefaultOptions()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, _, _, err := MinimumTime(sys, quantum.MatCX.Clone(), opts); err != nil {
+		if _, _, _, err := MinimumTimeCtx(context.Background(), sys, quantum.MatCX.Clone(), opts); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -228,7 +229,7 @@ func TestGRAPECompensatesZZCrosstalk(t *testing.T) {
 	opts := DefaultOptions()
 
 	// Naive pulses: calibrated on the ideal model, replayed on noisy.
-	naiveSched, _, naiveFid, err := MinimumTime(ideal, target, opts)
+	naiveSched, _, naiveFid, err := MinimumTimeCtx(context.Background(), ideal, target, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -243,7 +244,7 @@ func TestGRAPECompensatesZZCrosstalk(t *testing.T) {
 	naiveOnNoisy := linalg.TraceFidelity(target, replayed)
 
 	// Aware pulses: calibrated directly on the noisy model.
-	_, _, awareFid, err := MinimumTime(noisy, target, opts)
+	_, _, awareFid, err := MinimumTimeCtx(context.Background(), noisy, target, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -264,11 +265,11 @@ func TestPermutedHitScheduleIsPhysical(t *testing.T) {
 	// permuted one.
 	gen := NewGenerator(DefaultOptions())
 	cx01 := pulse.NewCustomGate([]circuit.Gate{{Name: "cx", Qubits: []int{0, 1}}})
-	if _, err := gen.Generate(cx01, 0.999); err != nil {
+	if _, err := gen.GenerateCtx(context.Background(), cx01, 0.999); err != nil {
 		t.Fatal(err)
 	}
 	cx10 := pulse.NewCustomGate([]circuit.Gate{{Name: "cx", Qubits: []int{1, 0}}})
-	got, err := gen.Generate(cx10, 0.999)
+	got, err := gen.GenerateCtx(context.Background(), cx10, 0.999)
 	if err != nil {
 		t.Fatal(err)
 	}

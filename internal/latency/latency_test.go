@@ -1,6 +1,7 @@
 package latency
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -97,7 +98,7 @@ func mkGroup(gates ...circuit.Gate) *pulse.CustomGate { return pulse.NewCustomGa
 
 func gen(t *testing.T, m *Model, cg *pulse.CustomGate) *pulse.Generated {
 	t.Helper()
-	g, err := m.Generate(cg, 0.999)
+	g, err := m.GenerateCtx(context.Background(), cg, 0.999)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -252,7 +253,7 @@ func TestModelRejectsWideGroups(t *testing.T) {
 		circuit.Gate{Name: "cx", Qubits: []int{0, 1}},
 		circuit.Gate{Name: "cx", Qubits: []int{2, 3}},
 	)
-	if _, err := m.Generate(g, 0.999); err == nil {
+	if _, err := m.GenerateCtx(context.Background(), g, 0.999); err == nil {
 		t.Error("4-qubit group should be rejected")
 	}
 }
@@ -286,7 +287,7 @@ func BenchmarkModelGenerate(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		m := NewModel()
-		if _, err := m.Generate(g, 0.999); err != nil {
+		if _, err := m.GenerateCtx(context.Background(), g, 0.999); err != nil {
 			b.Fatal(err)
 		}
 	}

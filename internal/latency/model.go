@@ -71,21 +71,12 @@ func NewModel() *Model {
 }
 
 var (
-	_ pulse.Generator       = (*Model)(nil)
-	_ pulse.LegacyGenerator = (*Model)(nil)
-	_ pulse.DBProvider      = (*Model)(nil)
+	_ pulse.Generator  = (*Model)(nil)
+	_ pulse.DBProvider = (*Model)(nil)
 )
 
 // PulseDB exposes the backing pulse database (may be nil).
 func (m *Model) PulseDB() *pulse.DB { return m.DB }
-
-// Generate estimates the pulse for a customized gate without running QOC.
-//
-// Deprecated: use GenerateCtx; this wrapper delegates with a background
-// context.
-func (m *Model) Generate(cg *pulse.CustomGate, fidelityTarget float64) (*pulse.Generated, error) {
-	return m.GenerateCtx(context.Background(), cg, fidelityTarget)
-}
 
 // GenerateCtx estimates the pulse for a customized gate without running
 // QOC. The returned Generated carries no schedule; latency, error, and a

@@ -60,18 +60,10 @@ type Pattern struct {
 // Coverage is the number of circuit gates covered by disjoint embeddings.
 func (p *Pattern) Coverage() int { return p.Support * p.GateCount }
 
-// Mine enumerates frequent subcircuits of the circuit, returning patterns
-// with at least MinSupport disjoint occurrences and at least two gates,
-// sorted by coverage (descending), ties by signature for determinism.
-//
-// Deprecated: use MineCtx; this wrapper delegates with a background
-// context.
-func Mine(c *circuit.Circuit, opts Options) []Pattern {
-	return MineCtx(context.Background(), c, opts)
-}
-
-// MineCtx is the real miner entry point, with observability: a
-// "mining.enumerate" span around the
+// MineCtx enumerates frequent subcircuits of the circuit, returning
+// patterns with at least MinSupport disjoint occurrences and at least two
+// gates, sorted by coverage (descending), ties by signature for
+// determinism. Observability: a "mining.enumerate" span around the
 // connected-subcircuit walk and counters for subcircuits enumerated,
 // extensions pruned by the qubit cap, pattern count, and whether the
 // enumeration budget overflowed.

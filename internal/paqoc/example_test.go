@@ -1,6 +1,7 @@
 package paqoc_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -18,7 +19,7 @@ func Example() {
 	c.Add("cx", 0, 1)
 
 	compiler := paqoc.New(nil, topology.Line(2), paqoc.DefaultConfig())
-	res, err := compiler.Compile(c)
+	res, err := compiler.CompileCtx(context.Background(), c)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -44,7 +45,7 @@ func ExampleConfig() {
 	cfg := paqoc.DefaultConfig()
 	cfg.M = paqoc.MInf
 	compiler := paqoc.New(nil, topology.Line(3), cfg)
-	res, err := compiler.Compile(c)
+	res, err := compiler.CompileCtx(context.Background(), c)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package paqoc
 
 import (
+	"context"
 	"testing"
 
 	"paqoc/internal/circuit"
@@ -34,7 +35,7 @@ func TestCompileWithRealGRAPE(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.ProbeCaseII = false // keep the probe count down; emission still runs GRAPE
 	comp := New(gen, topo, cfg)
-	res, err := comp.Compile(c)
+	res, err := comp.CompileCtx(context.Background(), c)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +66,7 @@ func TestCompileWithRealGRAPE(t *testing.T) {
 			pairs = hamiltonian.LinearChain(n)
 		}
 		sys := hamiltonian.XYTransmon(n, pairs)
-		got, err := pulsesim.Evolve(sys, b.Gen.Schedule)
+		got, err := pulsesim.EvolveCtx(context.Background(), sys, b.Gen.Schedule)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -121,12 +122,12 @@ func TestGRAPEMatchesModelOrdering(t *testing.T) {
 	var grapeLat, modelLat []float64
 	for _, c := range cases {
 		compG := New(gGen, topo, cfgG)
-		rg, err := compG.Compile(c)
+		rg, err := compG.CompileCtx(context.Background(), c)
 		if err != nil {
 			t.Fatal(err)
 		}
 		compM := New(nil, topo, DefaultConfig())
-		rm, err := compM.Compile(c)
+		rm, err := compM.CompileCtx(context.Background(), c)
 		if err != nil {
 			t.Fatal(err)
 		}

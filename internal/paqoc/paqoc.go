@@ -190,14 +190,6 @@ func (cp *Compiler) rank(ctx context.Context, b *critical.Block) (float64, error
 	return g.Latency, nil
 }
 
-// Compile runs the full pipeline on a physical circuit.
-//
-// Deprecated: use CompileCtx; this wrapper delegates with a background
-// context.
-func (cp *Compiler) Compile(phys *circuit.Circuit) (*Result, error) {
-	return cp.CompileCtx(context.Background(), phys)
-}
-
 // CompileCtx runs the full pipeline on a physical circuit, with
 // observability: when the context carries an
 // obs tracer and/or metrics registry (internal/obs), every pipeline stage

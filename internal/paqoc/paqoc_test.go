@@ -1,6 +1,7 @@
 package paqoc
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -26,7 +27,7 @@ func swapHeavy(nq, reps int) *circuit.Circuit {
 func compile(t *testing.T, c *circuit.Circuit, cfg Config) *Result {
 	t.Helper()
 	comp := New(nil, topology.Line(c.NumQubits), cfg)
-	res, err := comp.Compile(c)
+	res, err := comp.CompileCtx(context.Background(), c)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +109,7 @@ func TestAPAReducesCompileCost(t *testing.T) {
 
 func TestTunedMBetweenExtremes(t *testing.T) {
 	c := swapHeavy(5, 4)
-	patterns := mining.Mine(c, mining.DefaultOptions())
+	patterns := mining.MineCtx(context.Background(), c, mining.DefaultOptions())
 	m := mining.TunedM(c, patterns, 2)
 	if m <= 0 {
 		t.Skip("no tuned M on this circuit")
@@ -207,7 +208,7 @@ func TestParameterizedOfflineOnline(t *testing.T) {
 		sym.AddSymbolic("rz", "gamma", i+1)
 		sym.Add("cx", i, i+1)
 	}
-	patterns := mining.Mine(sym, mining.DefaultOptions())
+	patterns := mining.MineCtx(context.Background(), sym, mining.DefaultOptions())
 	if len(patterns) == 0 {
 		t.Fatal("offline mining found nothing on the symbolic circuit")
 	}
@@ -254,7 +255,7 @@ func TestCompileSymbolicFails(t *testing.T) {
 	c := circuit.New(1)
 	c.AddSymbolic("rz", "theta", 0)
 	comp := New(nil, topology.Line(1), DefaultConfig())
-	if _, err := comp.Compile(c); err == nil {
+	if _, err := comp.CompileCtx(context.Background(), c); err == nil {
 		t.Error("unbound symbolic circuit must fail pulse generation")
 	}
 }
@@ -264,7 +265,7 @@ func BenchmarkCompileSwapHeavyM0(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		comp := New(nil, topology.Line(5), DefaultConfig())
-		if _, err := comp.Compile(c); err != nil {
+		if _, err := comp.CompileCtx(context.Background(), c); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -277,7 +278,7 @@ func BenchmarkCompileSwapHeavyMInf(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		comp := New(nil, topology.Line(5), cfg)
-		if _, err := comp.Compile(c); err != nil {
+		if _, err := comp.CompileCtx(context.Background(), c); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -61,15 +61,3 @@ func TestAdaptPassesThroughContextFirst(t *testing.T) {
 		t.Errorf("GenerateCtx/Generate called %d/%d times, want 1/0", native.ctxCalls, native.legacyCalls)
 	}
 }
-
-// TestDeprecatedGenerateCtxHelper keeps the old helper working for the
-// transition period.
-func TestDeprecatedGenerateCtxHelper(t *testing.T) {
-	native := &ctxGen{}
-	if _, err := GenerateCtx(context.Background(), native, &CustomGate{}, 0.999); err != nil {
-		t.Fatal(err)
-	}
-	if native.ctxCalls != 1 {
-		t.Errorf("helper did not dispatch to GenerateCtx (%d calls)", native.ctxCalls)
-	}
-}

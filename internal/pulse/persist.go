@@ -8,8 +8,6 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
-
-	"paqoc/internal/linalg"
 )
 
 // dbFile is the on-disk shape of a pulse database: the §V-C offline
@@ -20,18 +18,8 @@ type dbFile struct {
 	// Fingerprint records which backend the pulses were calibrated for
 	// (device.Profile.Fingerprint). Empty in snapshots from un-namespaced
 	// DBs and in pre-fingerprint files.
-	Fingerprint string        `json:"fingerprint,omitempty"`
-	Entries     []dbFileEntry `json:"entries"`
-}
-
-type dbFileEntry struct {
-	Dim       int          `json:"dim"`
-	Unitary   [][2]float64 `json:"unitary"` // row-major (re, im)
-	Latency   float64      `json:"latency_dt"`
-	Fidelity  float64      `json:"fidelity"`
-	Error     float64      `json:"error"`
-	Schedule  *Schedule    `json:"schedule,omitempty"`
-	Protected bool         `json:"protected,omitempty"`
+	Fingerprint string      `json:"fingerprint,omitempty"`
+	Entries     []WireEntry `json:"entries"`
 }
 
 // loadUnitaryTol bounds how far a loaded matrix may drift from exact
@@ -73,21 +61,10 @@ func (db *DB) SaveWithReport(w io.Writer) (SaveReport, error) {
 	var rep SaveReport
 	out := dbFile{Version: 1, Fingerprint: db.fingerprint}
 	for _, e := range entries {
-		if !entryFinite(e) {
+		fe, ok := EncodeEntry(e)
+		if !ok {
 			rep.SkippedNonFinite++
 			continue
-		}
-		fe := dbFileEntry{
-			Dim:       e.U.Rows,
-			Latency:   e.Generated.Latency,
-			Fidelity:  e.Generated.Fidelity,
-			Error:     e.Generated.Error,
-			Schedule:  e.Generated.Schedule,
-			Protected: e.protected.Load(),
-		}
-		fe.Unitary = make([][2]float64, len(e.U.Data))
-		for i, v := range e.U.Data {
-			fe.Unitary[i] = [2]float64{real(v), imag(v)}
 		}
 		out.Entries = append(out.Entries, fe)
 	}
@@ -97,32 +74,6 @@ func (db *DB) SaveWithReport(w io.Writer) (SaveReport, error) {
 	}
 	enc := json.NewEncoder(w)
 	return rep, enc.Encode(out)
-}
-
-// entryFinite reports whether every float the encoder will see is finite.
-func entryFinite(e *Entry) bool {
-	g := e.Generated
-	if !finite(g.Latency) || !finite(g.Fidelity) || !finite(g.Error) {
-		return false
-	}
-	if s := g.Schedule; s != nil {
-		if !finite(s.SliceDt) {
-			return false
-		}
-		for _, ch := range s.Amps {
-			for _, v := range ch {
-				if !finite(v) {
-					return false
-				}
-			}
-		}
-	}
-	for _, v := range e.U.Data {
-		if !finite(real(v)) || !finite(imag(v)) {
-			return false
-		}
-	}
-	return true
 }
 
 func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
@@ -250,41 +201,11 @@ func loadDB(r io.Reader, want string, pinned bool) (*DB, error) {
 		db.SetFingerprint(in.Fingerprint)
 	}
 	for i, fe := range in.Entries {
-		if fe.Dim <= 0 || len(fe.Unitary) != fe.Dim*fe.Dim {
-			return nil, fmt.Errorf("pulse: entry %d has inconsistent dimensions", i)
+		u, g, err := fe.Decode()
+		if err != nil {
+			return nil, fmt.Errorf("%v (entry %d)", err, i)
 		}
-		if !finite(fe.Latency) || !finite(fe.Fidelity) || !finite(fe.Error) {
-			return nil, fmt.Errorf("pulse: entry %d has non-finite metadata (latency=%v fidelity=%v error=%v)",
-				i, fe.Latency, fe.Fidelity, fe.Error)
-		}
-		u := linalg.New(fe.Dim, fe.Dim)
-		for k, v := range fe.Unitary {
-			if !finite(v[0]) || !finite(v[1]) {
-				return nil, fmt.Errorf("pulse: entry %d has a non-finite amplitude at element %d", i, k)
-			}
-			u.Data[k] = complex(v[0], v[1])
-		}
-		if !u.IsUnitary(loadUnitaryTol) {
-			return nil, fmt.Errorf("pulse: entry %d is not unitary within %g", i, loadUnitaryTol)
-		}
-		if s := fe.Schedule; s != nil {
-			if !finite(s.SliceDt) {
-				return nil, fmt.Errorf("pulse: entry %d has a non-finite slice_dt", i)
-			}
-			for c, ch := range s.Amps {
-				for j, v := range ch {
-					if !finite(v) {
-						return nil, fmt.Errorf("pulse: entry %d has a non-finite sample (channel %d, slice %d)", i, c, j)
-					}
-				}
-			}
-		}
-		db.store(u, &Generated{
-			Latency:  fe.Latency,
-			Fidelity: fe.Fidelity,
-			Error:    fe.Error,
-			Schedule: fe.Schedule,
-		}, fe.Protected)
+		db.store(u, g, fe.Protected)
 	}
 	return db, nil
 }

@@ -157,10 +157,17 @@ type LegacyGenerator interface {
 	Generate(cg *CustomGate, fidelityTarget float64) (*Generated, error)
 }
 
-// CtxGenerator is the former name of the context-first interface.
-//
-// Deprecated: use Generator, which is now context-first.
-type CtxGenerator = Generator
+// Remote is a cross-replica pulse source consulted on local database
+// misses, implemented by cluster.Remote. FetchPulse asks the key's owner
+// replica for an already-generated pulse (false on miss, owner-is-self, or
+// any peer failure — callers degrade to local generation, never error).
+// PublishPulse write-through-ships a freshly generated pulse to its owner
+// so the next replica to miss finds it there. Both are best-effort: a
+// Remote must never fail a compilation.
+type Remote interface {
+	FetchPulse(ctx context.Context, u *linalg.Matrix) (*Generated, bool)
+	PublishPulse(ctx context.Context, u *linalg.Matrix, g *Generated)
+}
 
 // Adapt lifts a context-free generator into the context-first Generator
 // interface. If gen already implements Generator (the common case for
@@ -177,14 +184,6 @@ type legacyAdapter struct{ gen LegacyGenerator }
 
 func (a legacyAdapter) GenerateCtx(_ context.Context, cg *CustomGate, fidelityTarget float64) (*Generated, error) {
 	return a.gen.Generate(cg, fidelityTarget)
-}
-
-// GenerateCtx invokes gen with the context.
-//
-// Deprecated: Generator is context-first now — call gen.GenerateCtx
-// directly; use Adapt for a context-free LegacyGenerator.
-func GenerateCtx(ctx context.Context, gen Generator, cg *CustomGate, fidelityTarget float64) (*Generated, error) {
-	return gen.GenerateCtx(ctx, cg, fidelityTarget)
 }
 
 // CanonicalKey returns a hashable identifier of a unitary modulo global

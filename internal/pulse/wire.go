@@ -1,0 +1,131 @@
+package pulse
+
+import (
+	"fmt"
+
+	"paqoc/internal/linalg"
+)
+
+// WireEntry is the serialized form of one pulse-database entry. It is the
+// unit of exchange everywhere an entry crosses a process boundary: the
+// on-disk snapshot format (persist.go) and the cluster replication RPC
+// (internal/cluster, re-exported as api.PulseEntry) share it, so a replica
+// can ship exactly what a snapshot would hold.
+type WireEntry struct {
+	Dim       int          `json:"dim"`
+	Unitary   [][2]float64 `json:"unitary"` // row-major (re, im)
+	Latency   float64      `json:"latency_dt"`
+	Fidelity  float64      `json:"fidelity"`
+	Error     float64      `json:"error"`
+	Schedule  *Schedule    `json:"schedule,omitempty"`
+	Protected bool         `json:"protected,omitempty"`
+}
+
+// EncodeWire serializes one (unitary, generated) pair. ok is false when a
+// NaN or Inf crept into the metadata or samples (a diverged GRAPE run):
+// encoding/json rejects non-finite floats, so such entries must be skipped
+// rather than poisoning a snapshot or a replication PUT.
+func EncodeWire(u *linalg.Matrix, g *Generated, protected bool) (WireEntry, bool) {
+	if !generatedFinite(u, g) {
+		return WireEntry{}, false
+	}
+	we := WireEntry{
+		Dim:       u.Rows,
+		Latency:   g.Latency,
+		Fidelity:  g.Fidelity,
+		Error:     g.Error,
+		Schedule:  g.Schedule,
+		Protected: protected,
+	}
+	we.Unitary = make([][2]float64, len(u.Data))
+	for i, v := range u.Data {
+		we.Unitary[i] = [2]float64{real(v), imag(v)}
+	}
+	return we, true
+}
+
+// EncodeEntry serializes a stored entry (see EncodeWire for the ok=false
+// contract).
+func EncodeEntry(e *Entry) (WireEntry, bool) {
+	return EncodeWire(e.U, e.Generated, e.protected.Load())
+}
+
+// Decode validates and reconstructs the entry: the matrix must be the
+// declared shape, every value (unitary, metadata, schedule samples) must
+// be finite, and the matrix must be unitary within tolerance — a corrupt
+// snapshot or a malicious replication PUT fails fast instead of poisoning
+// warm starts at compile time.
+func (we WireEntry) Decode() (*linalg.Matrix, *Generated, error) {
+	if we.Dim <= 0 || len(we.Unitary) != we.Dim*we.Dim {
+		return nil, nil, fmt.Errorf("pulse: entry has inconsistent dimensions")
+	}
+	if !finite(we.Latency) || !finite(we.Fidelity) || !finite(we.Error) {
+		return nil, nil, fmt.Errorf("pulse: entry has non-finite metadata (latency=%v fidelity=%v error=%v)",
+			we.Latency, we.Fidelity, we.Error)
+	}
+	u := linalg.New(we.Dim, we.Dim)
+	for k, v := range we.Unitary {
+		if !finite(v[0]) || !finite(v[1]) {
+			return nil, nil, fmt.Errorf("pulse: entry has a non-finite amplitude at element %d", k)
+		}
+		u.Data[k] = complex(v[0], v[1])
+	}
+	if !u.IsUnitary(loadUnitaryTol) {
+		return nil, nil, fmt.Errorf("pulse: entry is not unitary within %g", loadUnitaryTol)
+	}
+	if s := we.Schedule; s != nil {
+		if !finite(s.SliceDt) {
+			return nil, nil, fmt.Errorf("pulse: entry has a non-finite slice_dt")
+		}
+		for c, ch := range s.Amps {
+			for j, v := range ch {
+				if !finite(v) {
+					return nil, nil, fmt.Errorf("pulse: entry has a non-finite sample (channel %d, slice %d)", c, j)
+				}
+			}
+		}
+	}
+	return u, &Generated{
+		Latency:  we.Latency,
+		Fidelity: we.Fidelity,
+		Error:    we.Error,
+		Schedule: we.Schedule,
+	}, nil
+}
+
+// NamespacedKey joins a backend fingerprint and a canonical unitary key
+// into the full store key (Entry.Key). The replication layer hashes this
+// form for ownership, so two replicas serving different backends never
+// contend for the same key space even when a gate's unitary coincides.
+func NamespacedKey(fingerprint, canonical string) string {
+	if fingerprint == "" {
+		return canonical
+	}
+	return fingerprint + "\x1f" + canonical
+}
+
+// generatedFinite reports whether every float the encoder will see is
+// finite.
+func generatedFinite(u *linalg.Matrix, g *Generated) bool {
+	if !finite(g.Latency) || !finite(g.Fidelity) || !finite(g.Error) {
+		return false
+	}
+	if s := g.Schedule; s != nil {
+		if !finite(s.SliceDt) {
+			return false
+		}
+		for _, ch := range s.Amps {
+			for _, v := range ch {
+				if !finite(v) {
+					return false
+				}
+			}
+		}
+	}
+	for _, v := range u.Data {
+		if !finite(real(v)) || !finite(imag(v)) {
+			return false
+		}
+	}
+	return true
+}

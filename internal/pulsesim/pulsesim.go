@@ -28,16 +28,8 @@ import (
 // synthetic (model-generated). 20000 dt ≈ 4.4 µs, a NISQ-era figure.
 const DefaultT2 = 20000.0
 
-// Evolve multiplies the slice propagators of a schedule on the system it
-// was generated for, returning the realized unitary.
-//
-// Deprecated: use EvolveCtx; this wrapper delegates with a background
-// context.
-func Evolve(sys *hamiltonian.System, sched *pulse.Schedule) (*linalg.Matrix, error) {
-	return EvolveCtx(context.Background(), sys, sched)
-}
-
-// EvolveCtx is the real evolution entry point, with observability: a
+// EvolveCtx multiplies the slice propagators of a schedule on the system
+// it was generated for, returning the realized unitary. Observability: a
 // "pulsesim.evolve" span per schedule and counters for time slices
 // propagated and matrix exponentials computed (one per slice propagator).
 // The slice loop runs on destination-passing kernels: one propagator and
@@ -120,16 +112,8 @@ func (s *CircuitSim) Fidelity(ideal *linalg.Matrix) float64 {
 	return linalg.TraceFidelity(ideal, s.u)
 }
 
-// ESP is the estimated success probability of Eq. (2): the product over
-// customized gates of (1 - ε_i).
-//
-// Deprecated: use ESPCtx; this wrapper delegates with a background
-// context.
-func ESP(gens []*pulse.Generated) float64 {
-	return ESPCtx(context.Background(), gens)
-}
-
-// ESPCtx is the real ESP evaluation, with observability: counts
+// ESPCtx is the estimated success probability of Eq. (2): the product
+// over customized gates of (1 - ε_i). Observability: counts
 // evaluations and the gates they cover on the context's metrics registry.
 func ESPCtx(ctx context.Context, gens []*pulse.Generated) float64 {
 	reg := obs.MetricsFrom(ctx)
@@ -170,7 +154,7 @@ func DecoherenceFactor(latencyDt, t2 float64) float64 {
 // experiments.TableIINoisy (Kraus channels) and experiments.TableIIFull
 // (real GRAPE schedules + Evolve).
 func ModelFidelity(gens []*pulse.Generated, criticalPathDt, t2 float64) float64 {
-	return ESP(gens) * DecoherenceFactor(criticalPathDt, t2)
+	return ESPCtx(context.Background(), gens) * DecoherenceFactor(criticalPathDt, t2)
 }
 
 // IdleDephasing returns the survival factor for qubits idling between

@@ -1,6 +1,7 @@
 package pulsesim
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -18,7 +19,7 @@ func TestEvolveZeroScheduleIsIdentity(t *testing.T) {
 		Amps:     [][]float64{make([]float64, 5), make([]float64, 5)},
 		SliceDt:  4,
 	}
-	u, err := Evolve(sys, sched)
+	u, err := EvolveCtx(context.Background(), sys, sched)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -30,7 +31,7 @@ func TestEvolveZeroScheduleIsIdentity(t *testing.T) {
 func TestEvolveChannelMismatch(t *testing.T) {
 	sys := hamiltonian.XYTransmon(1, nil)
 	sched := &pulse.Schedule{Amps: [][]float64{{0}}, SliceDt: 1}
-	if _, err := Evolve(sys, sched); err == nil {
+	if _, err := EvolveCtx(context.Background(), sys, sched); err == nil {
 		t.Error("expected channel-count error")
 	}
 }
@@ -46,7 +47,7 @@ func TestEvolveConstantXDrive(t *testing.T) {
 		Amps:     [][]float64{constSlice(amp, slices), constSlice(0, slices)},
 		SliceDt:  dur,
 	}
-	u, err := Evolve(sys, sched)
+	u, err := EvolveCtx(context.Background(), sys, sched)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,11 +60,11 @@ func TestGrapePulseSimulatesToTarget(t *testing.T) {
 	// End-to-end check: GRAPE's schedule, replayed through the simulator,
 	// realizes the target within the reported fidelity.
 	sys := hamiltonian.XYTransmon(2, hamiltonian.LinearChain(2))
-	sched, _, fid, err := grape.MinimumTime(sys, quantum.MatCX.Clone(), grape.DefaultOptions())
+	sched, _, fid, err := grape.MinimumTimeCtx(context.Background(), sys, quantum.MatCX.Clone(), grape.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
-	u, err := Evolve(sys, sched)
+	u, err := EvolveCtx(context.Background(), sys, sched)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,10 +110,10 @@ func TestESPProduct(t *testing.T) {
 		{Error: 0.02},
 	}
 	want := 0.99 * 0.98
-	if got := ESP(gens); math.Abs(got-want) > 1e-12 {
+	if got := ESPCtx(context.Background(), gens); math.Abs(got-want) > 1e-12 {
 		t.Errorf("ESP = %g, want %g", got, want)
 	}
-	if ESP(nil) != 1 {
+	if ESPCtx(context.Background(), nil) != 1 {
 		t.Error("empty ESP should be 1")
 	}
 }
@@ -157,14 +158,14 @@ func constSlice(v float64, n int) []float64 {
 
 func BenchmarkEvolveCXSchedule(b *testing.B) {
 	sys := hamiltonian.XYTransmon(2, hamiltonian.LinearChain(2))
-	sched, _, _, err := grape.MinimumTime(sys, quantum.MatCX.Clone(), grape.DefaultOptions())
+	sched, _, _, err := grape.MinimumTimeCtx(context.Background(), sys, quantum.MatCX.Clone(), grape.DefaultOptions())
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Evolve(sys, sched); err != nil {
+		if _, err := EvolveCtx(context.Background(), sys, sched); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -200,11 +201,11 @@ func TestStateFidelityWithGRAPEPulse(t *testing.T) {
 	// The realized unitary of a simulated GRAPE CX must give state
 	// fidelity at or above the process fidelity target.
 	sys := hamiltonian.XYTransmon(2, hamiltonian.LinearChain(2))
-	sched, _, fid, err := grape.MinimumTime(sys, quantum.MatCX.Clone(), grape.DefaultOptions())
+	sched, _, fid, err := grape.MinimumTimeCtx(context.Background(), sys, quantum.MatCX.Clone(), grape.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
-	realizedCX, err := Evolve(sys, sched)
+	realizedCX, err := EvolveCtx(context.Background(), sys, sched)
 	if err != nil {
 		t.Fatal(err)
 	}

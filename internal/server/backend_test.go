@@ -1,6 +1,8 @@
 package server
 
 import (
+	"paqoc/internal/api"
+
 	"net/http"
 	"path/filepath"
 	"strings"
@@ -14,9 +16,9 @@ import (
 // job is created for it.
 func TestBackendUnknownRejected(t *testing.T) {
 	_, ts := newTestServer(t, Config{Workers: 1})
-	code, out := postCompile(t, ts, Request{Circuit: tinyCircuit, Backend: "ion-trap-9000", Mode: "sync"})
+	code, out := postCompile(t, ts, api.CompileRequest{Circuit: tinyCircuit, Backend: "ion-trap-9000", Mode: "sync"})
 	if code != http.StatusBadRequest {
-		t.Fatalf("unknown backend: HTTP %d (%+v), want 400", code, out.Status)
+		t.Fatalf("unknown backend: HTTP %d (%+v), want 400", code, out.JobStatus)
 	}
 }
 
@@ -30,9 +32,9 @@ func TestBackendPerJobSelection(t *testing.T) {
 	}
 
 	// Default backend: status carries the server's profile name.
-	code, out := postCompile(t, ts, Request{Circuit: tinyCircuit, Mode: "sync"})
-	if code != http.StatusOK || out.State != StateDone {
-		t.Fatalf("default compile: HTTP %d: %+v", code, out.Status)
+	code, out := postCompile(t, ts, api.CompileRequest{Circuit: tinyCircuit, Mode: "sync"})
+	if code != http.StatusOK || out.State != api.StateDone {
+		t.Fatalf("default compile: HTTP %d: %+v", code, out.JobStatus)
 	}
 	if out.Backend != device.DefaultName {
 		t.Errorf("default job backend = %q, want %q", out.Backend, device.DefaultName)
@@ -40,9 +42,9 @@ func TestBackendPerJobSelection(t *testing.T) {
 
 	// Explicit non-default backend, including a dynamic name.
 	for _, backend := range []string{"linear-chain", "xy-grid-2x3"} {
-		code, out := postCompile(t, ts, Request{Circuit: "qubits 3\nh 0\ncx 0 2\ncx 1 2\n", Backend: backend, Mode: "sync"})
-		if code != http.StatusOK || out.State != StateDone {
-			t.Fatalf("backend %s: HTTP %d: %+v", backend, code, out.Status)
+		code, out := postCompile(t, ts, api.CompileRequest{Circuit: "qubits 3\nh 0\ncx 0 2\ncx 1 2\n", Backend: backend, Mode: "sync"})
+		if code != http.StatusOK || out.State != api.StateDone {
+			t.Fatalf("backend %s: HTTP %d: %+v", backend, code, out.JobStatus)
 		}
 		if out.Backend != backend {
 			t.Errorf("job backend = %q, want %q", out.Backend, backend)
@@ -58,11 +60,11 @@ func TestBackendPerJobSelection(t *testing.T) {
 // served to another.
 func TestBackendDBIsolation(t *testing.T) {
 	s, ts := newTestServer(t, Config{Workers: 2, GridRows: 1, GridCols: 2})
-	req := Request{Circuit: tinyCircuit, Grape: true, Mode: "sync", TimeoutMs: 120_000}
+	req := api.CompileRequest{Circuit: tinyCircuit, Grape: true, Mode: "sync", TimeoutMs: 120_000}
 
 	code, out := postCompile(t, ts, req)
 	if code != http.StatusOK {
-		t.Fatalf("default backend compile: HTTP %d: %+v", code, out.Status)
+		t.Fatalf("default backend compile: HTTP %d: %+v", code, out.JobStatus)
 	}
 	if s.db.Len() == 0 {
 		t.Fatal("default backend DB stayed cold")
@@ -71,7 +73,7 @@ func TestBackendDBIsolation(t *testing.T) {
 	req.Backend = "linear-chain-2"
 	code, out = postCompile(t, ts, req)
 	if code != http.StatusOK {
-		t.Fatalf("linear-chain-2 compile: HTTP %d: %+v", code, out.Status)
+		t.Fatalf("linear-chain-2 compile: HTTP %d: %+v", code, out.JobStatus)
 	}
 	prof, err := device.Lookup("linear-chain-2")
 	if err != nil {
@@ -101,9 +103,9 @@ func TestBackendSnapshotRefusedOnMismatch(t *testing.T) {
 	}
 	s.Start()
 	ts := newHTTPServer(t, s)
-	code, out := postCompile(t, ts, Request{Circuit: tinyCircuit, Grape: true, Mode: "sync", TimeoutMs: 120_000})
+	code, out := postCompile(t, ts, api.CompileRequest{Circuit: tinyCircuit, Grape: true, Mode: "sync", TimeoutMs: 120_000})
 	if code != http.StatusOK || out.Result.DBEntries == 0 {
-		t.Fatalf("warming compile: HTTP %d: %+v", code, out.Status)
+		t.Fatalf("warming compile: HTTP %d: %+v", code, out.JobStatus)
 	}
 	if err := s.saveDB(); err != nil {
 		t.Fatal(err)

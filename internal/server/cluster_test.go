@@ -1,0 +1,184 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"paqoc/internal/api"
+)
+
+// swapHandler late-binds an http.Handler: the replication listeners must
+// exist before the servers (their addresses are the peer list), but what
+// they serve is each server's ClusterHandler. The mutex makes the bind
+// race-safe.
+type swapHandler struct {
+	mu sync.RWMutex
+	h  http.Handler
+}
+
+func (s *swapHandler) Set(h http.Handler) { s.mu.Lock(); s.h = h; s.mu.Unlock() }
+
+func (s *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	h := s.h
+	s.mu.RUnlock()
+	if h == nil {
+		http.Error(w, "not ready", http.StatusServiceUnavailable)
+		return
+	}
+	h.ServeHTTP(w, r)
+}
+
+// replicaPair is an in-process two-replica deployment: two full servers
+// sharing a static peer list, each serving its replication RPC on its own
+// (httptest) listener, exactly as two paqoc-server processes would with
+// -peers/-cluster-listen.
+type replicaPair struct {
+	a, b       *Server
+	apiA, apiB *httptest.Server
+	rpcA, rpcB *httptest.Server
+}
+
+func newReplicaPair(t *testing.T) *replicaPair {
+	t.Helper()
+	hA, hB := &swapHandler{}, &swapHandler{}
+	rpcA := httptest.NewServer(hA)
+	rpcB := httptest.NewServer(hB)
+	t.Cleanup(rpcA.Close)
+	t.Cleanup(rpcB.Close)
+
+	addrA := strings.TrimPrefix(rpcA.URL, "http://")
+	addrB := strings.TrimPrefix(rpcB.URL, "http://")
+	peers := []string{addrA, addrB}
+
+	mk := func(self string) (*Server, *httptest.Server) {
+		return newTestServer(t, Config{
+			Workers:        2,
+			ClusterSelf:    self,
+			ClusterPeers:   peers,
+			ClusterTimeout: 2 * time.Second,
+		})
+	}
+	sA, apiA := mk(addrA)
+	sB, apiB := mk(addrB)
+	hA.Set(sA.ClusterHandler())
+	hB.Set(sB.ClusterHandler())
+	return &replicaPair{a: sA, b: sB, apiA: apiA, apiB: apiB, rpcA: rpcA, rpcB: rpcB}
+}
+
+// compileOwnedBy compiles controlled-phase circuits on replica A until one
+// lands on a pulse key owned by the wanted replica, and returns that
+// circuit. Rendezvous hashing splits the cp(θ) family roughly evenly, so
+// a dozen candidates miss both sides with probability ~2⁻¹².
+func (p *replicaPair) compileOwnedBy(t *testing.T, owner *Server) string {
+	t.Helper()
+	self := owner.Cluster().Self()
+	for i := 0; i < 12; i++ {
+		before := map[string]bool{}
+		for _, e := range p.a.DB().Entries() {
+			before[e.Key] = true
+		}
+		circ := fmt.Sprintf("qubits 2\ncp(%.3f) 0 1\n", 0.3+0.17*float64(i))
+		code, out := postCompile(t, p.apiA, api.CompileRequest{Circuit: circ, Grape: true, Mode: "sync", TimeoutMs: 120_000})
+		if code != http.StatusOK || out.State != api.StateDone {
+			t.Fatalf("candidate compile %d: HTTP %d, status %+v", i, code, out.JobStatus)
+		}
+		for _, e := range p.a.DB().Entries() {
+			if !before[e.Key] && p.a.Cluster().Owner(e.Key) == self {
+				return circ
+			}
+		}
+	}
+	t.Fatal("no candidate circuit owned by the wanted replica (astronomically unlikely)")
+	return ""
+}
+
+// TestClusterPeerWarmHit is the headline replication property: a gate
+// compiled (and therefore generated) on its owner replica is a warm hit
+// on the other replica — served over the peer RPC, with no second GRAPE
+// run anywhere.
+func TestClusterPeerWarmHit(t *testing.T) {
+	p := newReplicaPair(t)
+	circ := p.compileOwnedBy(t, p.a) // generated on A; A owns it, so nothing was published
+
+	code, out := postCompile(t, p.apiB, api.CompileRequest{Circuit: circ, Grape: true, Mode: "sync", TimeoutMs: 120_000})
+	if code != http.StatusOK || out.State != api.StateDone || out.Result == nil {
+		t.Fatalf("compile on B: HTTP %d, status %+v", code, out.JobStatus)
+	}
+	regB := p.b.Registry()
+	if got := regB.Counter("grape.generated").Value(); got != 0 {
+		t.Errorf("B ran GRAPE %d times, want 0 (warm hit via peer)", got)
+	}
+	if got := regB.Counter("cluster.peer_hits").Value(); got < 1 {
+		t.Errorf("cluster.peer_hits on B = %d, want ≥ 1", got)
+	}
+	if got := regB.Counter("grape.remote_hits").Value(); got < 1 {
+		t.Errorf("grape.remote_hits on B = %d, want ≥ 1", got)
+	}
+}
+
+// TestClusterWriteThroughPublish: a gate generated on a non-owner replica
+// is write-through-published to its owner, so a later compile on the
+// owner is a purely local warm hit — no generation, no peer fetch.
+func TestClusterWriteThroughPublish(t *testing.T) {
+	p := newReplicaPair(t)
+	circ := p.compileOwnedBy(t, p.b) // generated on A, owned by B → published A→B
+
+	regA, regB := p.a.Registry(), p.b.Registry()
+	if got := regA.Counter("cluster.publishes").Value(); got < 1 {
+		t.Fatalf("cluster.publishes on A = %d, want ≥ 1", got)
+	}
+	if got := regB.Counter("cluster.serve_merges").Value(); got < 1 {
+		t.Fatalf("cluster.serve_merges on B = %d, want ≥ 1", got)
+	}
+
+	code, out := postCompile(t, p.apiB, api.CompileRequest{Circuit: circ, Grape: true, Mode: "sync", TimeoutMs: 120_000})
+	if code != http.StatusOK || out.State != api.StateDone {
+		t.Fatalf("compile on B: HTTP %d, status %+v", code, out.JobStatus)
+	}
+	if got := regB.Counter("grape.generated").Value(); got != 0 {
+		t.Errorf("B ran GRAPE %d times, want 0 (published entry is a local hit)", got)
+	}
+	if got := regB.Counter("cluster.peer_hits").Value(); got != 0 {
+		t.Errorf("cluster.peer_hits on B = %d, want 0 (hit is local, not remote)", got)
+	}
+}
+
+// TestClusterPeerDownDegrades: with the owner's replication listener dead,
+// compiles on the other replica still succeed — local generation, zero
+// client-visible errors — and the failure shows up only in peer-error
+// metrics and the circuit breaker.
+func TestClusterPeerDownDegrades(t *testing.T) {
+	p := newReplicaPair(t)
+	p.rpcB.Close() // kill B's replication listener; B's API stays up
+
+	self := p.b.Cluster().Self()
+	sawRemote := false
+	for i := 0; i < 12 && !sawRemote; i++ {
+		circ := fmt.Sprintf("qubits 2\ncp(%.3f) 0 1\n", 0.3+0.17*float64(i))
+		code, out := postCompile(t, p.apiA, api.CompileRequest{Circuit: circ, Grape: true, Mode: "sync", TimeoutMs: 120_000})
+		if code != http.StatusOK || out.State != api.StateDone || out.Result == nil {
+			t.Fatalf("compile %d with peer down: HTTP %d, status %+v (degradation must be invisible)", i, code, out.JobStatus)
+		}
+		for _, e := range p.a.DB().Entries() {
+			if p.a.Cluster().Owner(e.Key) == self {
+				sawRemote = true
+			}
+		}
+	}
+	if !sawRemote {
+		t.Fatal("no compiled key owned by the dead peer (astronomically unlikely)")
+	}
+	regA := p.a.Registry()
+	if got := regA.Counter("cluster.peer_errors").Value(); got < 1 {
+		t.Errorf("cluster.peer_errors on A = %d, want ≥ 1", got)
+	}
+	if got := regA.Counter("grape.generated").Value(); got < 1 {
+		t.Errorf("grape.generated on A = %d, want ≥ 1 (degraded to local generation)", got)
+	}
+}

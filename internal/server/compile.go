@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"paqoc/internal/api"
 	"paqoc/internal/bench"
 	"paqoc/internal/circuit"
 	"paqoc/internal/grape"
@@ -16,50 +17,8 @@ import (
 	"paqoc/internal/transpile"
 )
 
-// Request is the POST /v1/compile body. Exactly one circuit source (qasm,
-// circuit, bench) must be set; the remaining knobs mirror the CLI's APA /
-// GRAPE / fidelity / deadline surface.
-type Request struct {
-	// QASM is OpenQASM 2.0 source.
-	QASM string `json:"qasm,omitempty"`
-	// Circuit is the native text circuit format (circuit.Parse).
-	Circuit string `json:"circuit,omitempty"`
-	// Bench names a built-in Table I benchmark.
-	Bench string `json:"bench,omitempty"`
-
-	// Backend names the device profile to compile against (a registered
-	// profile or a dynamic name like "xy-grid-3x4"); empty selects the
-	// server's default backend. Unknown names are rejected with 400.
-	Backend string `json:"backend,omitempty"`
-
-	// APA enables the frequent-subcircuit miner (paqoc(M=inf)); off
-	// compiles with customized gates only (paqoc(M=0)).
-	APA bool `json:"apa,omitempty"`
-	// Grape emits final pulses with the real optimizer against the
-	// server's shared warm pulse database; off uses the calibrated
-	// analytical model.
-	Grape bool `json:"grape,omitempty"`
-	// Fidelity is the per-gate target (default 0.999).
-	Fidelity float64 `json:"fidelity,omitempty"`
-	// TimeoutMs bounds the job's run time; 0 selects the server default.
-	// The deadline is threaded as a context deadline into the GRAPE and
-	// simulator hot loops, so an expired job releases its worker promptly.
-	TimeoutMs int64 `json:"timeout_ms,omitempty"`
-	// Mode forces "sync" or "async"; "" / "auto" picks sync for circuits at
-	// or under the server's sync gate limit.
-	Mode string `json:"mode,omitempty"`
-	// MaxN caps customized-gate width (default 3).
-	MaxN int `json:"max_n,omitempty"`
-	// Workers is the intra-job pulse-generation pool width (default 1:
-	// cross-request parallelism comes from the server's own worker pool).
-	Workers int `json:"workers,omitempty"`
-	// IncludeSchedules attaches per-gate pulse schedules (ScheduleJSON) to
-	// the result. Off by default: schedules dominate response size.
-	IncludeSchedules bool `json:"include_schedules,omitempty"`
-}
-
 // parseSource validates the request and parses its circuit source.
-func parseSource(req *Request) (*circuit.Circuit, error) {
+func parseSource(req *api.CompileRequest) (*circuit.Circuit, error) {
 	n := 0
 	for _, set := range []bool{req.QASM != "", req.Circuit != "", req.Bench != ""} {
 		if set {
@@ -83,53 +42,10 @@ func parseSource(req *Request) (*circuit.Circuit, error) {
 	}
 }
 
-// Result is a finished compilation: the latency/fidelity summary, the
-// per-customized-gate breakdown (with ScheduleJSON payloads on request),
-// and the job's request-scoped per-stage timing.
-type Result struct {
-	Qubits           int     `json:"qubits"`
-	LogicalGates     int     `json:"logical_gates"`
-	PhysicalGates    int     `json:"physical_gates"`
-	Swaps            int     `json:"swaps"`
-	Blocks           int     `json:"blocks"`
-	APAPatterns      int     `json:"apa_patterns,omitempty"`
-	LatencyDt        float64 `json:"latency_dt"`
-	InitialLatencyDt float64 `json:"initial_latency_dt"`
-	ReductionPct     float64 `json:"reduction_pct"`
-	ESP              float64 `json:"esp"`
-	CompileCostSec   float64 `json:"compile_cost_sec"`
-	OfflineCostSec   float64 `json:"offline_cost_sec,omitempty"`
-	WallMs           float64 `json:"wall_ms"`
-	// DBEntries is the shared pulse database size after this job — the
-	// warmth the next request inherits.
-	DBEntries int `json:"db_entries"`
-
-	Gates  []GateResult `json:"gates,omitempty"`
-	Stages []Stage      `json:"stages,omitempty"`
-}
-
-// GateResult is one customized gate of the output.
-type GateResult struct {
-	Gate      string          `json:"gate"`
-	Qubits    []int           `json:"qubits"`
-	APA       bool            `json:"apa,omitempty"`
-	LatencyDt float64         `json:"latency_dt"`
-	Fidelity  float64         `json:"fidelity"`
-	CacheHit  bool            `json:"cache_hit,omitempty"`
-	Schedule  *pulse.Schedule `json:"schedule,omitempty"`
-}
-
-// Stage is one aggregated span path from the job's request-scoped tracer.
-type Stage struct {
-	Stage string  `json:"stage"`
-	Count int     `json:"count"`
-	Ms    float64 `json:"ms"`
-}
-
 // compile runs the full pipeline for one job. The context carries the
 // job's deadline and the server's shared metrics registry plus a fresh
 // per-request tracer, whose per-stage summary lands in the result.
-func (s *Server) compile(ctx context.Context, j *Job) (*Result, error) {
+func (s *Server) compile(ctx context.Context, j *Job) (*api.Result, error) {
 	tracer := obs.NewTracer()
 	o := &obs.Obs{Metrics: s.reg, Tracer: tracer}
 	ctx = o.Attach(ctx)
@@ -175,6 +91,10 @@ func (s *Server) compile(ctx context.Context, j *Job) (*Result, error) {
 		g.Topo = topo
 		g.DB = db // shared warm database: cross-request hits and dedups
 		g.System = j.profile.SystemBuilder()
+		// In a multi-replica deployment, true misses consult the key's
+		// owner replica before optimizing, and fresh pulses are published
+		// back to it (nil outside a cluster).
+		g.Remote = s.remoteFor(j.profile)
 		gen = g
 	}
 	comp := paqoc.NewForProfile(gen, j.profile, cfg)
@@ -184,7 +104,7 @@ func (s *Server) compile(ctx context.Context, j *Job) (*Result, error) {
 		return nil, err
 	}
 
-	out := &Result{
+	out := &api.Result{
 		Qubits:           logical.NumQubits,
 		LogicalGates:     len(logical.Gates),
 		PhysicalGates:    len(phys.Gates),
@@ -203,7 +123,7 @@ func (s *Server) compile(ctx context.Context, j *Job) (*Result, error) {
 		out.ReductionPct = 100 * (1 - res.Latency/res.InitialLatency)
 	}
 	for _, b := range res.Blocks.Blocks {
-		gr := GateResult{
+		gr := api.GateResult{
 			Gate:   b.Custom().Describe(),
 			Qubits: b.Qubits,
 			APA:    b.APA,
@@ -219,7 +139,7 @@ func (s *Server) compile(ctx context.Context, j *Job) (*Result, error) {
 		out.Gates = append(out.Gates, gr)
 	}
 	for _, st := range tracer.Summary() {
-		out.Stages = append(out.Stages, Stage{
+		out.Stages = append(out.Stages, api.Stage{
 			Stage: st.Path,
 			Count: st.Count,
 			Ms:    float64(st.Total) / float64(time.Millisecond),

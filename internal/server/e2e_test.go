@@ -1,6 +1,8 @@
 package server
 
 import (
+	"paqoc/internal/api"
+
 	"context"
 	"encoding/json"
 	"io"
@@ -47,12 +49,12 @@ func metricsSnapshot(t *testing.T, url string) (counters map[string]int64) {
 // real pipeline (analytical generator) and reports a sane summary.
 func TestE2ESyncCompile(t *testing.T) {
 	_, ts := newTestServer(t, Config{Workers: 2, GridRows: 2, GridCols: 2})
-	code, out := postCompile(t, ts, Request{Circuit: "qubits 2\nh 0\ncx 0 1\ncx 0 1\nh 0\n"})
+	code, out := postCompile(t, ts, api.CompileRequest{Circuit: "qubits 2\nh 0\ncx 0 1\ncx 0 1\nh 0\n"})
 	if code != http.StatusOK {
 		t.Fatalf("HTTP %d: %+v", code, out)
 	}
-	if out.State != StateDone || out.Result == nil {
-		t.Fatalf("status = %+v", out.Status)
+	if out.State != api.StateDone || out.Result == nil {
+		t.Fatalf("status = %+v", out.JobStatus)
 	}
 	r := out.Result
 	if r.Blocks < 1 || r.LatencyDt <= 0 || r.InitialLatencyDt < r.LatencyDt {
@@ -87,8 +89,8 @@ func TestE2EConcurrentCompiles(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			code, out := postCompile(t, ts, Request{Circuit: circuits[i%len(circuits)], Mode: "sync"})
-			if code != http.StatusOK || out.State != StateDone {
+			code, out := postCompile(t, ts, api.CompileRequest{Circuit: circuits[i%len(circuits)], Mode: "sync"})
+			if code != http.StatusOK || out.State != api.StateDone {
 				errs <- out.Error
 			}
 		}(i)
@@ -106,11 +108,11 @@ func TestE2EConcurrentCompiles(t *testing.T) {
 // and report the reuse as cache hits on the gates.
 func TestE2EWarmDBSecondRequest(t *testing.T) {
 	_, ts := newTestServer(t, Config{Workers: 2, GridRows: 1, GridCols: 2})
-	req := Request{Circuit: tinyCircuit, Grape: true, Mode: "sync", TimeoutMs: 120_000}
+	req := api.CompileRequest{Circuit: tinyCircuit, Grape: true, Mode: "sync", TimeoutMs: 120_000}
 
 	code, out := postCompile(t, ts, req)
 	if code != http.StatusOK {
-		t.Fatalf("first request: HTTP %d: %+v", code, out.Status)
+		t.Fatalf("first request: HTTP %d: %+v", code, out.JobStatus)
 	}
 	if out.Result.DBEntries == 0 {
 		t.Fatal("first GRAPE compile stored nothing in the shared DB")
@@ -118,7 +120,7 @@ func TestE2EWarmDBSecondRequest(t *testing.T) {
 
 	code, out = postCompile(t, ts, req)
 	if code != http.StatusOK {
-		t.Fatalf("second request: HTTP %d: %+v", code, out.Status)
+		t.Fatalf("second request: HTTP %d: %+v", code, out.JobStatus)
 	}
 	counters := metricsSnapshot(t, ts.URL)
 	if counters["grape.db_hits"]+counters["pulse.db_dedups"] == 0 {
@@ -139,18 +141,18 @@ func TestE2EWarmDBSecondRequest(t *testing.T) {
 // request immediately.
 func TestE2EDeadlineExceeded(t *testing.T) {
 	_, ts := newTestServer(t, Config{Workers: 1, GridRows: 1, GridCols: 2})
-	code, out := postCompile(t, ts, Request{Circuit: tinyCircuit, Grape: true, Mode: "sync", TimeoutMs: 1})
+	code, out := postCompile(t, ts, api.CompileRequest{Circuit: tinyCircuit, Grape: true, Mode: "sync", TimeoutMs: 1})
 	if code != http.StatusGatewayTimeout {
-		t.Fatalf("hopeless deadline: HTTP %d (%+v), want 504", code, out.Status)
+		t.Fatalf("hopeless deadline: HTTP %d (%+v), want 504", code, out.JobStatus)
 	}
-	if out.State != StateFailed || !out.TimedOut {
-		t.Fatalf("status = %+v, want failed+timed_out", out.Status)
+	if out.State != api.StateFailed || !out.TimedOut {
+		t.Fatalf("status = %+v, want failed+timed_out", out.JobStatus)
 	}
 
 	// The single worker must not be wedged: an analytical compile succeeds.
-	code, out = postCompile(t, ts, Request{Circuit: tinyCircuit, Mode: "sync"})
-	if code != http.StatusOK || out.State != StateDone {
-		t.Fatalf("worker wedged after timeout: HTTP %d, %+v", code, out.Status)
+	code, out = postCompile(t, ts, api.CompileRequest{Circuit: tinyCircuit, Mode: "sync"})
+	if code != http.StatusOK || out.State != api.StateDone {
+		t.Fatalf("worker wedged after timeout: HTTP %d, %+v", code, out.JobStatus)
 	}
 }
 
@@ -161,12 +163,12 @@ func TestE2EDeadlineExceeded(t *testing.T) {
 // and GET /metrics?format=prom serves the histogram triplets.
 func TestE2ELiveCompileTelemetry(t *testing.T) {
 	s, ts := newTestServer(t, Config{Workers: 2, GridRows: 1, GridCols: 2})
-	code, out := postCompile(t, ts, Request{Circuit: tinyCircuit, Grape: true, Mode: "async", TimeoutMs: 120_000})
+	code, out := postCompile(t, ts, api.CompileRequest{Circuit: tinyCircuit, Grape: true, Mode: "async", TimeoutMs: 120_000})
 	if code != http.StatusAccepted {
-		t.Fatalf("submit: HTTP %d: %+v", code, out.Status)
+		t.Fatalf("submit: HTTP %d: %+v", code, out.JobStatus)
 	}
 	frames := getSSE(t, ts, out.JobID)
-	stages, convs := checkSSEStream(t, frames, string(StateDone))
+	stages, convs := checkSSEStream(t, frames, string(api.StateDone))
 	if stages == 0 || convs == 0 {
 		t.Fatalf("live stream delivered %d stage and %d convergence events, want >= 1 of each", stages, convs)
 	}
@@ -239,9 +241,9 @@ func TestE2EShutdownPersistsDB(t *testing.T) {
 	s.Start()
 	ts := newHTTPServer(t, s)
 
-	code, out := postCompile(t, ts, Request{Circuit: tinyCircuit, Grape: true, Mode: "sync", TimeoutMs: 120_000})
+	code, out := postCompile(t, ts, api.CompileRequest{Circuit: tinyCircuit, Grape: true, Mode: "sync", TimeoutMs: 120_000})
 	if code != http.StatusOK {
-		t.Fatalf("compile: HTTP %d: %+v", code, out.Status)
+		t.Fatalf("compile: HTTP %d: %+v", code, out.JobStatus)
 	}
 	entries := out.Result.DBEntries
 	if entries == 0 {

@@ -7,6 +7,8 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"time"
+
+	"paqoc/internal/api"
 )
 
 // maxBodyBytes bounds a compile request body (QASM sources are text; 8 MiB
@@ -53,16 +55,9 @@ func PprofHandler() http.Handler {
 	return mux
 }
 
-// compileResponse wraps a job status for compile responses; Poll is the
-// URL async clients follow.
-type compileResponse struct {
-	Status
-	Poll string `json:"poll,omitempty"`
-}
-
 func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	s.reg.Counter("server.requests").Inc()
-	var req Request
+	var req api.CompileRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err := dec.Decode(&req); err != nil {
 		s.badRequest(w, fmt.Errorf("decoding request: %v", err))
@@ -75,12 +70,19 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	}
 	prof, err := s.profileFor(req.Backend)
 	if err != nil {
-		s.badRequest(w, err)
+		s.reg.Counter("server.bad_requests").Inc()
+		api.WriteError(w, http.StatusBadRequest, api.CodeUnknownBackend, err.Error())
 		return
 	}
 	sync, err := s.pickMode(&req, len(logical.Gates))
 	if err != nil {
 		s.badRequest(w, err)
+		return
+	}
+	switch req.Priority {
+	case "", "normal", "high":
+	default:
+		s.badRequest(w, fmt.Errorf("bad priority %q (want normal or high)", req.Priority))
 		return
 	}
 
@@ -93,20 +95,23 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		switch {
 		case errors.Is(err, ErrQueueFull):
 			w.Header().Set("Retry-After", fmt.Sprintf("%d", int(s.cfg.RetryAfter/time.Second)))
-			writeError(w, http.StatusTooManyRequests, err.Error())
+			api.WriteError(w, http.StatusTooManyRequests, api.CodeQueueFull, err.Error())
+		case errors.Is(err, ErrTenantQuota):
+			w.Header().Set("Retry-After", fmt.Sprintf("%d", int(s.cfg.RetryAfter/time.Second)))
+			api.WriteError(w, http.StatusTooManyRequests, api.CodeTenantQuota, err.Error())
 		case errors.Is(err, ErrDraining):
-			writeError(w, http.StatusServiceUnavailable, err.Error())
+			api.WriteError(w, http.StatusServiceUnavailable, api.CodeDraining, err.Error())
 		default:
-			writeError(w, http.StatusInternalServerError, err.Error())
+			api.WriteError(w, http.StatusInternalServerError, api.CodeInternal, err.Error())
 		}
 		return
 	}
-	s.cfg.Logger.Info("job queued", "job_id", j.ID, "backend", prof.Name, "gates", len(logical.Gates), "sync", sync)
+	s.cfg.Logger.Info("job queued", "job_id", j.ID, "backend", prof.Name, "gates", len(logical.Gates), "sync", sync, "priority", j.priority)
 
 	if !sync {
 		s.reg.Counter("server.requests_async").Inc()
 		w.Header().Set("Location", "/v1/jobs/"+j.ID)
-		writeJSON(w, http.StatusAccepted, compileResponse{Status: j.status(), Poll: "/v1/jobs/" + j.ID})
+		writeJSON(w, http.StatusAccepted, api.CompileResponse{JobStatus: j.status(), Poll: "/v1/jobs/" + j.ID})
 		return
 	}
 
@@ -115,17 +120,17 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	case <-j.done:
 	case <-r.Context().Done():
 		// Client gone; the job keeps running and stays pollable.
-		writeJSON(w, http.StatusAccepted, compileResponse{Status: j.status(), Poll: "/v1/jobs/" + j.ID})
+		writeJSON(w, http.StatusAccepted, api.CompileResponse{JobStatus: j.status(), Poll: "/v1/jobs/" + j.ID})
 		return
 	}
 	st := j.status()
-	writeJSON(w, statusCodeFor(st), compileResponse{Status: st})
+	writeJSON(w, statusCodeFor(st), api.CompileResponse{JobStatus: st})
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.jobs.get(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, "no such job")
+		api.WriteError(w, http.StatusNotFound, api.CodeJobNotFound, "no such job")
 		return
 	}
 	writeJSON(w, http.StatusOK, j.status())
@@ -167,7 +172,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 // pickMode resolves the request's sync/async choice; auto selects sync for
 // circuits at or under the configured gate limit.
-func (s *Server) pickMode(req *Request, gates int) (sync bool, err error) {
+func (s *Server) pickMode(req *api.CompileRequest, gates int) (sync bool, err error) {
 	switch req.Mode {
 	case "sync":
 		return true, nil
@@ -182,7 +187,7 @@ func (s *Server) pickMode(req *Request, gates int) (sync bool, err error) {
 
 // jobTimeout resolves the job deadline: the client's request clamped to
 // the configured maximum, or the server default.
-func (s *Server) jobTimeout(req *Request) time.Duration {
+func (s *Server) jobTimeout(req *api.CompileRequest) time.Duration {
 	if req.TimeoutMs <= 0 {
 		return s.cfg.DefaultTimeout
 	}
@@ -197,7 +202,7 @@ func (s *Server) jobTimeout(req *Request) time.Duration {
 // the client's request clamped to the configured maximum, mirroring how
 // jobTimeout clamps deadlines — a request cannot demand an arbitrarily
 // wide engine pool on top of the server's own worker pool.
-func (s *Server) jobWorkers(req *Request) int {
+func (s *Server) jobWorkers(req *api.CompileRequest) int {
 	if req.Workers > s.cfg.MaxJobWorkers {
 		return s.cfg.MaxJobWorkers
 	}
@@ -206,10 +211,12 @@ func (s *Server) jobWorkers(req *Request) int {
 
 // statusCodeFor maps a terminal job status onto the synchronous response
 // code: 200 done, 504 deadline exceeded, 503 cancelled by shutdown, 422
-// compilation failure.
-func statusCodeFor(st Status) int {
+// compilation failure. Non-2xx synchronous bodies are deliberately the
+// job's JobStatus, not the error envelope: the job is a resource that
+// exists and carries its own failure detail.
+func statusCodeFor(st api.JobStatus) int {
 	switch {
-	case st.State == StateDone:
+	case st.State == api.StateDone:
 		return http.StatusOK
 	case st.TimedOut:
 		return http.StatusGatewayTimeout
@@ -222,7 +229,7 @@ func statusCodeFor(st Status) int {
 
 func (s *Server) badRequest(w http.ResponseWriter, err error) {
 	s.reg.Counter("server.bad_requests").Inc()
-	writeError(w, http.StatusBadRequest, err.Error())
+	api.WriteError(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -231,8 +238,4 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(v)
-}
-
-func writeError(w http.ResponseWriter, code int, msg string) {
-	writeJSON(w, code, map[string]string{"error": msg})
 }

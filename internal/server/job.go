@@ -5,22 +5,10 @@ import (
 	"sync"
 	"time"
 
+	"paqoc/internal/api"
 	"paqoc/internal/circuit"
 	"paqoc/internal/device"
 	"paqoc/internal/obs"
-)
-
-// JobState is the lifecycle of a compilation job. Transitions are strictly
-// queued → running → {done, failed}; a failed job records whether the
-// failure was its deadline expiring (timeout) or the server draining
-// (canceled) so clients can map it onto 504/503 semantics.
-type JobState string
-
-const (
-	StateQueued  JobState = "queued"
-	StateRunning JobState = "running"
-	StateDone    JobState = "done"
-	StateFailed  JobState = "failed"
 )
 
 // Job is one compilation request moving through the bounded queue. The
@@ -29,17 +17,18 @@ const (
 type Job struct {
 	ID string
 
-	req     *Request
-	logical *circuit.Circuit
-	profile *device.Profile
-	timeout time.Duration
+	req      *api.CompileRequest
+	logical  *circuit.Circuit
+	profile  *device.Profile
+	timeout  time.Duration
+	priority string // "high" or "normal", validated at the handler
 
 	mu        sync.Mutex
-	state     JobState
+	state     api.JobState
 	errMsg    string
 	timedOut  bool
 	canceled  bool
-	result    *Result
+	result    *api.Result
 	submitted time.Time
 	started   time.Time
 	finished  time.Time
@@ -53,6 +42,15 @@ type Job struct {
 	// GET /v1/jobs/{id}/events. Closed when the job reaches a terminal
 	// state so subscribers see a clean end of stream.
 	events *obs.EventRing
+}
+
+// tenant is the submitting principal from the job's request ("" for
+// anonymous traffic and request-less unit-test jobs).
+func (j *Job) tenant() string {
+	if j.req == nil {
+		return ""
+	}
+	return j.req.Tenant
 }
 
 // backendName is the job's device profile name ("" for jobs created
@@ -72,23 +70,23 @@ func (j *Job) publishState(state, errMsg string) {
 
 func (j *Job) start() {
 	j.mu.Lock()
-	j.state = StateRunning
+	j.state = api.StateRunning
 	j.started = time.Now()
 	j.mu.Unlock()
-	j.publishState(string(StateRunning), "")
+	j.publishState(string(api.StateRunning), "")
 }
 
 // finish moves the job to its terminal state and releases waiters.
-func (j *Job) finish(res *Result, err error, timedOut, canceled bool) {
+func (j *Job) finish(res *api.Result, err error, timedOut, canceled bool) {
 	j.mu.Lock()
 	j.finished = time.Now()
 	if err != nil {
-		j.state = StateFailed
+		j.state = api.StateFailed
 		j.errMsg = err.Error()
 		j.timedOut = timedOut
 		j.canceled = canceled
 	} else {
-		j.state = StateDone
+		j.state = api.StateDone
 		j.result = res
 	}
 	state, errMsg := string(j.state), j.errMsg
@@ -98,37 +96,25 @@ func (j *Job) finish(res *Result, err error, timedOut, canceled bool) {
 	close(j.done)
 }
 
-// Status is the wire representation of a job, served by GET /v1/jobs/{id}
-// and embedded in synchronous compile responses.
-type Status struct {
-	JobID    string   `json:"job_id"`
-	State    JobState `json:"status"`
-	Backend  string   `json:"backend,omitempty"`
-	Error    string   `json:"error,omitempty"`
-	TimedOut bool     `json:"timed_out,omitempty"`
-	Canceled bool     `json:"canceled,omitempty"`
-	QueuedMs float64  `json:"queued_ms"`
-	RunMs    float64  `json:"run_ms,omitempty"`
-	Result   *Result  `json:"result,omitempty"`
-}
-
-// status snapshots the job under its lock.
-func (j *Job) status() Status {
+// status snapshots the job under its lock as its api.JobStatus wire form.
+func (j *Job) status() api.JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	st := Status{
+	st := api.JobStatus{
 		JobID:    j.ID,
 		State:    j.state,
 		Backend:  j.backendName(),
+		Tenant:   j.tenant(),
+		Priority: j.priority,
 		Error:    j.errMsg,
 		TimedOut: j.timedOut,
 		Canceled: j.canceled,
 		Result:   j.result,
 	}
 	switch j.state {
-	case StateQueued:
+	case api.StateQueued:
 		st.QueuedMs = msSince(j.submitted, time.Now())
-	case StateRunning:
+	case api.StateRunning:
 		st.QueuedMs = msSince(j.submitted, j.started)
 		st.RunMs = msSince(j.started, time.Now())
 	default:
@@ -167,7 +153,7 @@ const jobEventCapacity = 512
 
 // add creates and registers a queued job for an already-parsed request,
 // bound to its resolved device profile.
-func (s *jobStore) add(req *Request, logical *circuit.Circuit, prof *device.Profile, timeout time.Duration) *Job {
+func (s *jobStore) add(req *api.CompileRequest, logical *circuit.Circuit, prof *device.Profile, timeout time.Duration) *Job {
 	s.mu.Lock()
 	s.seq++
 	j := &Job{
@@ -176,14 +162,15 @@ func (s *jobStore) add(req *Request, logical *circuit.Circuit, prof *device.Prof
 		logical:   logical,
 		profile:   prof,
 		timeout:   timeout,
-		state:     StateQueued,
+		priority:  normalizePriority(req.Priority),
+		state:     api.StateQueued,
 		submitted: time.Now(),
 		done:      make(chan struct{}),
 		events:    obs.NewEventRing(jobEventCapacity),
 	}
 	s.jobs[j.ID] = j
 	s.mu.Unlock()
-	j.publishState(string(StateQueued), "")
+	j.publishState(string(api.StateQueued), "")
 	return j
 }
 
@@ -218,4 +205,13 @@ func (s *jobStore) retired(j *Job) []string {
 		s.retire = s.retire[1:]
 	}
 	return evicted
+}
+
+// normalizePriority folds the request's validated priority field onto its
+// queue lane name.
+func normalizePriority(p string) string {
+	if p == "high" {
+		return "high"
+	}
+	return "normal"
 }

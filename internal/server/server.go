@@ -21,12 +21,15 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net/http"
 	"runtime"
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"paqoc/internal/api"
+	"paqoc/internal/cluster"
 	"paqoc/internal/device"
 	"paqoc/internal/obs"
 	"paqoc/internal/pulse"
@@ -38,6 +41,9 @@ var (
 	ErrQueueFull = errors.New("server: job queue full")
 	// ErrDraining: the server is shutting down and refuses new work (503).
 	ErrDraining = errors.New("server: draining")
+	// ErrTenantQuota: the submitting tenant is at its in-flight job cap
+	// (HTTP 429 with error code "tenant_quota").
+	ErrTenantQuota = errors.New("server: tenant at in-flight quota")
 )
 
 // Config sizes the service. Zero values select the documented defaults.
@@ -91,6 +97,21 @@ type Config struct {
 	JobRetention int
 	// RetryAfter is the hint sent with 429 responses (default 1s).
 	RetryAfter time.Duration
+	// TenantMaxInflight caps how many jobs one tenant (the request's
+	// "tenant" field; empty is a tenant of its own) may have queued or
+	// running at once. Past the cap Submit fails with ErrTenantQuota
+	// (429 + "tenant_quota"), so one chatty client cannot monopolize the
+	// worker pool. 0 disables per-tenant quotas.
+	TenantMaxInflight int
+	// ClusterSelf and ClusterPeers configure multi-replica warm-store
+	// replication (internal/cluster): ClusterPeers is the full static
+	// membership of advertised -cluster-listen addresses and ClusterSelf
+	// is this replica's own entry. Empty peers means standalone — every
+	// pulse key is owned locally and no RPCs fire.
+	ClusterSelf  string
+	ClusterPeers []string
+	// ClusterTimeout bounds each peer RPC (default 2s).
+	ClusterTimeout time.Duration
 	// Logger receives structured service logs (default: JSON lines on
 	// stderr at info level; tests pass obs.NewLogger(io.Discard, ...)).
 	// Every job lifecycle transition — queued, running, done/failed,
@@ -155,9 +176,22 @@ type Server struct {
 	dbmu sync.Mutex
 	dbs  map[string]*pulse.DB
 
-	queue chan *Job
-	qmu   sync.RWMutex // guards queue-send vs close, and draining
-	drain bool
+	queue     chan *Job
+	queueHigh chan *Job    // the priority lane: idle workers prefer it
+	qmu       sync.RWMutex // guards queue-send vs close, and draining
+	drain     bool
+
+	// tenantInflight counts queued+running jobs per tenant for
+	// Config.TenantMaxInflight admission.
+	tmu            sync.Mutex
+	tenantInflight map[string]int
+
+	// cluster is this replica's membership view (standalone when no peers
+	// are configured); dbsByFP resolves replication RPCs by backend
+	// fingerprint.
+	cluster *cluster.Cluster
+	fpmu    sync.Mutex
+	dbsByFP map[string]*pulse.DB
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -169,7 +203,7 @@ type Server struct {
 
 	// compileFn runs one job; tests swap it to simulate slow, stuck, or
 	// panicking compilations deterministically.
-	compileFn func(ctx context.Context, j *Job) (*Result, error)
+	compileFn func(ctx context.Context, j *Job) (*api.Result, error)
 }
 
 // New builds a server and loads the default backend's pulse database from
@@ -195,18 +229,32 @@ func New(cfg Config) (*Server, error) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:        cfg,
-		profile:    prof,
-		db:         db,
-		dbs:        make(map[string]*pulse.DB),
-		reg:        obs.NewRegistry(),
-		jobs:       newJobStore(cfg.JobRetention),
-		queue:      make(chan *Job, cfg.QueueDepth),
-		baseCtx:    ctx,
-		baseCancel: cancel,
-		snapStop:   make(chan struct{}),
+		cfg:            cfg,
+		profile:        prof,
+		db:             db,
+		dbs:            make(map[string]*pulse.DB),
+		dbsByFP:        map[string]*pulse.DB{prof.Fingerprint(): db},
+		reg:            obs.NewRegistry(),
+		jobs:           newJobStore(cfg.JobRetention),
+		queue:          make(chan *Job, cfg.QueueDepth),
+		queueHigh:      make(chan *Job, cfg.QueueDepth),
+		tenantInflight: map[string]int{},
+		baseCtx:        ctx,
+		baseCancel:     cancel,
+		snapStop:       make(chan struct{}),
 	}
 	s.compileFn = s.compile
+	s.cluster, err = cluster.New(cluster.Config{
+		Self:     cfg.ClusterSelf,
+		Peers:    cfg.ClusterPeers,
+		Timeout:  cfg.ClusterTimeout,
+		Registry: s.reg,
+		Logger:   cfg.Logger,
+	})
+	if err != nil {
+		cancel()
+		return nil, fmt.Errorf("server: %v", err)
+	}
 	preregisterMetrics(s.reg)
 	obs.RegisterRuntimeCollector(s.reg)
 	// The shared DB reports its own counters (nearest scan/prune split,
@@ -217,7 +265,63 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.reg.Gauge("server.queue_capacity").Set(float64(cfg.QueueDepth))
 	s.reg.Gauge("server.workers").Set(float64(cfg.Workers))
+	// cluster.owned_keys is recomputed at scrape time: the share of warm
+	// entries this replica owns under the current membership.
+	s.reg.AddCollector(func() {
+		owned := 0
+		for _, db := range s.allDBs() {
+			for _, e := range db.Entries() {
+				if s.cluster.OwnsLocally(e.Key) {
+					owned++
+				}
+			}
+		}
+		s.reg.Gauge("cluster.owned_keys").Set(float64(owned))
+	})
 	return s, nil
+}
+
+// Cluster exposes the replica's membership view (standalone when no peers
+// were configured).
+func (s *Server) Cluster() *cluster.Cluster { return s.cluster }
+
+// ClusterHandler returns the internal v1 replication RPC, to be served on
+// a private listener (cmd/paqoc-server's -cluster-listen), never on the
+// public API address.
+func (s *Server) ClusterHandler() http.Handler {
+	return s.cluster.Handler(s.dbByFingerprint)
+}
+
+// remoteFor returns the cross-replica pulse source for a backend, or nil
+// outside a multi-replica deployment.
+func (s *Server) remoteFor(prof *device.Profile) pulse.Remote {
+	if !s.cluster.Enabled() {
+		return nil
+	}
+	return s.cluster.RemoteFor(prof.Fingerprint())
+}
+
+// dbByFingerprint resolves a replication RPC's backend fingerprint to the
+// live database serving it. Only backends this replica has opened (the
+// default one, plus any a request compiled for) resolve; an unknown
+// fingerprint is refused — a fingerprint is a hash, so the profile it
+// names cannot be reconstructed from it.
+func (s *Server) dbByFingerprint(fp string) (*pulse.DB, bool) {
+	s.fpmu.Lock()
+	defer s.fpmu.Unlock()
+	db, ok := s.dbsByFP[fp]
+	return db, ok
+}
+
+// allDBs snapshots every live database (default backend first).
+func (s *Server) allDBs() []*pulse.DB {
+	out := []*pulse.DB{s.db}
+	s.dbmu.Lock()
+	for _, db := range s.dbs {
+		out = append(out, db)
+	}
+	s.dbmu.Unlock()
+	return out
 }
 
 // Registry exposes the shared metrics registry (served by GET /metrics).
@@ -254,6 +358,9 @@ func (s *Server) dbFor(prof *device.Profile) *pulse.DB {
 			db.SetMaxEntries(s.cfg.DBMaxEntries)
 		}
 		s.dbs[prof.Name] = db
+		s.fpmu.Lock()
+		s.dbsByFP[prof.Fingerprint()] = db
+		s.fpmu.Unlock()
 		s.cfg.Logger.Info("pulse DB created", "backend", prof.Name, "fingerprint", prof.Fingerprint())
 	}
 	return db
@@ -276,30 +383,101 @@ func (s *Server) Start() {
 	s.ready.Store(true)
 }
 
-// Submit enqueues a job, failing fast when the server is draining or the
-// queue is full — the caller translates those into 503 and 429.
+// Submit enqueues a job on its priority lane, failing fast when the
+// server is draining, the lane is full, or the job's tenant is at its
+// in-flight quota — the caller translates those into 503 and 429.
 func (s *Server) Submit(j *Job) error {
 	s.qmu.RLock()
 	defer s.qmu.RUnlock()
 	if s.drain {
 		return ErrDraining
 	}
+	if err := s.tenantAcquire(j.tenant()); err != nil {
+		return err
+	}
+	lane := s.queue
+	if j.priority == "high" {
+		lane = s.queueHigh
+	}
 	select {
-	case s.queue <- j:
+	case lane <- j:
 		s.reg.Gauge("server.queue_len").Add(1)
 		return nil
 	default:
+		s.tenantRelease(j.tenant())
 		s.reg.Counter("server.rejected_queue_full").Inc()
 		return ErrQueueFull
 	}
 }
 
-// worker consumes jobs until the queue is closed and drained.
+// tenantAcquire admits one job against its tenant's in-flight cap.
+func (s *Server) tenantAcquire(tenant string) error {
+	if s.cfg.TenantMaxInflight <= 0 {
+		return nil
+	}
+	s.tmu.Lock()
+	defer s.tmu.Unlock()
+	if s.tenantInflight[tenant] >= s.cfg.TenantMaxInflight {
+		s.reg.Counter("server.rejected_tenant_quota").Inc()
+		return ErrTenantQuota
+	}
+	s.tenantInflight[tenant]++
+	return nil
+}
+
+func (s *Server) tenantRelease(tenant string) {
+	if s.cfg.TenantMaxInflight <= 0 {
+		return
+	}
+	s.tmu.Lock()
+	if s.tenantInflight[tenant] <= 1 {
+		delete(s.tenantInflight, tenant)
+	} else {
+		s.tenantInflight[tenant]--
+	}
+	s.tmu.Unlock()
+}
+
+// worker consumes jobs until both lanes are closed and drained.
 func (s *Server) worker() {
 	defer s.workerWG.Done()
-	for j := range s.queue {
+	for {
+		j, ok := s.nextJob()
+		if !ok {
+			return
+		}
 		s.reg.Gauge("server.queue_len").Add(-1)
 		s.runJob(j)
+	}
+}
+
+// nextJob takes the next job, preferring the high-priority lane: a
+// non-blocking probe of the high lane first, then a fair blocking select
+// over both. A closed, drained lane falls through to blocking on the
+// other, so shutdown still drains every queued job before workers exit.
+func (s *Server) nextJob() (*Job, bool) {
+	select {
+	case j, ok := <-s.queueHigh:
+		if ok {
+			return j, true
+		}
+		j, ok = <-s.queue
+		return j, ok
+	default:
+	}
+	select {
+	case j, ok := <-s.queueHigh:
+		if ok {
+			return j, true
+		}
+		j, ok = <-s.queue
+		return j, ok
+	case j, ok := <-s.queue:
+		if ok {
+			return j, true
+		}
+		j, ok = <-s.queueHigh
+		return j, ok
 	}
 }
 
@@ -338,6 +516,7 @@ func (s *Server) runJob(j *Job) {
 		s.reg.Counter("server.jobs_failed").Inc()
 	}
 	j.finish(res, err, timedOut, canceled)
+	s.tenantRelease(j.tenant())
 	// End-to-end latency (submit → terminal) by outcome; run time alone is
 	// the job status's run_ms.
 	runMs := msSince(j.started, j.finished)
@@ -356,7 +535,7 @@ func (s *Server) runJob(j *Job) {
 
 // safeCompile isolates panics: one bad circuit must not take down the
 // process, only its own job.
-func (s *Server) safeCompile(ctx context.Context, j *Job) (res *Result, err error) {
+func (s *Server) safeCompile(ctx context.Context, j *Job) (res *api.Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			s.reg.Counter("server.jobs_panicked").Inc()
@@ -422,7 +601,8 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		return nil
 	}
 	s.drain = true
-	close(s.queue) // workers finish the backlog, then exit
+	close(s.queue) // workers finish the backlog on both lanes, then exit
+	close(s.queueHigh)
 	s.qmu.Unlock()
 	s.ready.Store(false)
 
@@ -472,6 +652,10 @@ func preregisterMetrics(r *obs.Registry) {
 		"mining.subcircuits_enumerated", "mining.pruned_qubit_cap", "mining.patterns",
 		"latency.model.probes", "latency.model.db_hits",
 		"engine.tasks", "engine.completed", "pulse.db_dedups",
+		"server.rejected_tenant_quota",
+		"cluster.peer_hits", "cluster.peer_misses", "cluster.peer_errors",
+		"cluster.publishes", "cluster.breaker_opens", "cluster.breaker_skips",
+		"cluster.serve_hits", "cluster.serve_merges", "grape.remote_hits",
 		"pulse.nearest_scanned", "pulse.nearest_pruned",
 		"pulse.evictions", "pulse.save_skipped_nonfinite",
 	} {
@@ -480,7 +664,7 @@ func preregisterMetrics(r *obs.Registry) {
 	r.Counter("obs.convergence_dropped")
 	for _, name := range []string{
 		"server.queue_len", "server.queue_capacity", "server.workers",
-		"server.jobs_running",
+		"server.jobs_running", "cluster.owned_keys",
 		"engine.inflight", "engine.active_workers", "engine.active_workers.peak",
 		"engine.queued", "engine.queued.peak",
 	} {
@@ -494,19 +678,23 @@ func preregisterMetrics(r *obs.Registry) {
 	r.HistogramVec(obs.StageMetric, obs.LatencyBuckets, "stage")
 
 	for name, help := range map[string]string{
-		"server.queue_wait_ms":       "Time jobs spent queued before a worker picked them up, milliseconds.",
-		"server.job_ms":              "End-to-end job latency (submit to terminal state) by outcome, milliseconds.",
-		obs.StageMetric:              "Per-pipeline-stage wall clock by stage, milliseconds.",
-		"engine.task_ms":             "Worker-pool task wall clock, milliseconds.",
-		"server.jobs_completed":      "Jobs that reached the done state.",
-		"server.jobs_failed":         "Jobs that failed (including cancellations).",
-		"server.jobs_timeout":        "Jobs that exceeded their deadline.",
-		"server.rejected_queue_full": "Compile requests rejected because the job queue was full.",
-		"server.queue_len":           "Jobs currently queued.",
-		"server.jobs_running":        "Jobs currently executing.",
-		"obs.convergence_dropped":    "GRAPE convergence-trace points discarded by the per-optimization cap.",
-		"grape.iterations":           "GRAPE optimizer iterations executed.",
-		"pulse.db_dedups":            "Generator runs avoided by singleflight coalescing on the pulse DB.",
+		"server.queue_wait_ms":         "Time jobs spent queued before a worker picked them up, milliseconds.",
+		"server.job_ms":                "End-to-end job latency (submit to terminal state) by outcome, milliseconds.",
+		obs.StageMetric:                "Per-pipeline-stage wall clock by stage, milliseconds.",
+		"engine.task_ms":               "Worker-pool task wall clock, milliseconds.",
+		"server.jobs_completed":        "Jobs that reached the done state.",
+		"server.jobs_failed":           "Jobs that failed (including cancellations).",
+		"server.jobs_timeout":          "Jobs that exceeded their deadline.",
+		"server.rejected_queue_full":   "Compile requests rejected because the job queue was full.",
+		"server.rejected_tenant_quota": "Compile requests rejected because the tenant was at its in-flight cap.",
+		"cluster.peer_hits":            "Pulse-DB misses served by a peer replica's warm store.",
+		"cluster.peer_errors":          "Peer RPCs that failed (transport error, timeout, or bad response).",
+		"cluster.owned_keys":           "Warm-store entries whose rendezvous owner is this replica (recomputed per scrape).",
+		"server.queue_len":             "Jobs currently queued.",
+		"server.jobs_running":          "Jobs currently executing.",
+		"obs.convergence_dropped":      "GRAPE convergence-trace points discarded by the per-optimization cap.",
+		"grape.iterations":             "GRAPE optimizer iterations executed.",
+		"pulse.db_dedups":              "Generator runs avoided by singleflight coalescing on the pulse DB.",
 	} {
 		r.SetHelp(name, help)
 	}

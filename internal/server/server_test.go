@@ -1,6 +1,8 @@
 package server
 
 import (
+	"paqoc/internal/api"
+
 	"bytes"
 	"context"
 	"encoding/json"
@@ -43,7 +45,26 @@ func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 const tinyCircuit = "qubits 2\ncx 0 1\n"
 
 // postCompile posts a compile request and decodes the response body.
-func postCompile(t *testing.T, ts *httptest.Server, req Request) (int, compileResponse) {
+// Error-envelope responses ({"error":{code,message}}) fold into the
+// returned status: the code lands in out.Error so callers can assert on
+// it uniformly.
+func postCompile(t *testing.T, ts *httptest.Server, req api.CompileRequest) (int, api.CompileResponse) {
+	t.Helper()
+	code, raw := postCompileRaw(t, ts, req)
+	var out api.CompileResponse
+	var env api.ErrorResponse
+	if err := json.Unmarshal(raw, &env); err == nil && env.Error.Code != "" {
+		out.Error = env.Error.Code + ": " + env.Error.Message
+		return code, out
+	}
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatalf("decoding response (HTTP %d): %v\n%s", code, err, raw)
+	}
+	return code, out
+}
+
+// postCompileRaw posts a compile request and returns the raw body.
+func postCompileRaw(t *testing.T, ts *httptest.Server, req api.CompileRequest) (int, []byte) {
 	t.Helper()
 	body, err := json.Marshal(req)
 	if err != nil {
@@ -54,16 +75,29 @@ func postCompile(t *testing.T, ts *httptest.Server, req Request) (int, compileRe
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var out compileResponse
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		t.Fatalf("decoding response (HTTP %d): %v", resp.StatusCode, err)
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
 	}
-	return resp.StatusCode, out
+	return resp.StatusCode, raw
+}
+
+// errorEnvelope decodes raw as the versioned error envelope, failing the
+// test if the body has any other shape.
+func errorEnvelope(t *testing.T, raw []byte) api.Error {
+	t.Helper()
+	var env struct {
+		Error *api.Error `json:"error"`
+	}
+	if err := json.Unmarshal(raw, &env); err != nil || env.Error == nil || env.Error.Code == "" {
+		t.Fatalf("body is not an error envelope: %s", raw)
+	}
+	return *env.Error
 }
 
 func TestBadRequests(t *testing.T) {
 	_, ts := newTestServer(t, Config{Workers: 1})
-	cases := []Request{
+	cases := []api.CompileRequest{
 		{},                                   // no source
 		{Circuit: tinyCircuit, Bench: "qft"}, // two sources
 		{Circuit: "qubits two"},              // malformed circuit
@@ -85,16 +119,16 @@ func TestQueueFullBackpressure(t *testing.T) {
 	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
 	running := make(chan struct{}, 8)
 	release := make(chan struct{})
-	s.compileFn = func(ctx context.Context, j *Job) (*Result, error) {
+	s.compileFn = func(ctx context.Context, j *Job) (*api.Result, error) {
 		running <- struct{}{}
 		select {
 		case <-release:
 		case <-ctx.Done():
 		}
-		return &Result{}, nil
+		return &api.Result{}, nil
 	}
 
-	async := Request{Circuit: tinyCircuit, Mode: "async"}
+	async := api.CompileRequest{Circuit: tinyCircuit, Mode: "async"}
 	code, _ := postCompile(t, ts, async) // occupies the worker
 	if code != http.StatusAccepted {
 		t.Fatalf("first job: HTTP %d, want 202", code)
@@ -135,24 +169,24 @@ func TestQueueFullBackpressure(t *testing.T) {
 // server keeps serving.
 func TestPanicIsolation(t *testing.T) {
 	s, ts := newTestServer(t, Config{Workers: 2})
-	s.compileFn = func(ctx context.Context, j *Job) (*Result, error) {
+	s.compileFn = func(ctx context.Context, j *Job) (*api.Result, error) {
 		if strings.Contains(j.req.Circuit, "# boom") {
 			panic("synthetic compiler bug")
 		}
-		return &Result{Blocks: 1}, nil
+		return &api.Result{Blocks: 1}, nil
 	}
 
-	code, out := postCompile(t, ts, Request{Circuit: tinyCircuit + "# boom\n", Mode: "sync"})
+	code, out := postCompile(t, ts, api.CompileRequest{Circuit: tinyCircuit + "# boom\n", Mode: "sync"})
 	if code != http.StatusUnprocessableEntity {
 		t.Fatalf("panicking job: HTTP %d, want 422", code)
 	}
-	if out.State != StateFailed || !strings.Contains(out.Error, "panicked") {
-		t.Fatalf("panicking job status = %+v", out.Status)
+	if out.State != api.StateFailed || !strings.Contains(out.Error, "panicked") {
+		t.Fatalf("panicking job status = %+v", out.JobStatus)
 	}
 
-	code, out = postCompile(t, ts, Request{Circuit: tinyCircuit, Mode: "sync"})
-	if code != http.StatusOK || out.State != StateDone {
-		t.Fatalf("server wedged after panic: HTTP %d, status %+v", code, out.Status)
+	code, out = postCompile(t, ts, api.CompileRequest{Circuit: tinyCircuit, Mode: "sync"})
+	if code != http.StatusOK || out.State != api.StateDone {
+		t.Fatalf("server wedged after panic: HTTP %d, status %+v", code, out.JobStatus)
 	}
 	if v := s.reg.Counter("server.jobs_panicked").Value(); v != 1 {
 		t.Errorf("server.jobs_panicked = %d, want 1", v)
@@ -164,12 +198,12 @@ func TestPanicIsolation(t *testing.T) {
 func TestAsyncJobLifecycle(t *testing.T) {
 	s, ts := newTestServer(t, Config{Workers: 1})
 	release := make(chan struct{})
-	s.compileFn = func(ctx context.Context, j *Job) (*Result, error) {
+	s.compileFn = func(ctx context.Context, j *Job) (*api.Result, error) {
 		<-release
-		return &Result{Blocks: 3}, nil
+		return &api.Result{Blocks: 3}, nil
 	}
 
-	code, out := postCompile(t, ts, Request{Circuit: tinyCircuit, Mode: "async"})
+	code, out := postCompile(t, ts, api.CompileRequest{Circuit: tinyCircuit, Mode: "async"})
 	if code != http.StatusAccepted || out.Poll == "" {
 		t.Fatalf("async submit: HTTP %d, %+v", code, out)
 	}
@@ -181,12 +215,12 @@ func TestAsyncJobLifecycle(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		var st Status
+		var st api.JobStatus
 		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
 			t.Fatal(err)
 		}
 		resp.Body.Close()
-		if st.State == StateDone {
+		if st.State == api.StateDone {
 			if st.Result == nil || st.Result.Blocks != 3 {
 				t.Fatalf("done status carries no result: %+v", st)
 			}
@@ -253,7 +287,7 @@ func TestDrainRefusesNewWork(t *testing.T) {
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("readyz while drained: %d, want 503", resp.StatusCode)
 	}
-	code, _ := postCompile(t, ts, Request{Circuit: tinyCircuit, Mode: "async"})
+	code, _ := postCompile(t, ts, api.CompileRequest{Circuit: tinyCircuit, Mode: "async"})
 	if code != http.StatusServiceUnavailable {
 		t.Fatalf("compile while drained: HTTP %d, want 503", code)
 	}
@@ -274,12 +308,12 @@ func TestDrainDeadlineCancelsStragglers(t *testing.T) {
 	}
 	s.Start()
 	running := make(chan struct{})
-	s.compileFn = func(ctx context.Context, j *Job) (*Result, error) {
+	s.compileFn = func(ctx context.Context, j *Job) (*api.Result, error) {
 		close(running)
 		<-ctx.Done()
 		return nil, ctx.Err()
 	}
-	j := s.jobs.add(&Request{Circuit: tinyCircuit}, nil, s.profile, time.Hour)
+	j := s.jobs.add(&api.CompileRequest{Circuit: tinyCircuit}, nil, s.profile, time.Hour)
 	if err := s.Submit(j); err != nil {
 		t.Fatal(err)
 	}
@@ -292,7 +326,7 @@ func TestDrainDeadlineCancelsStragglers(t *testing.T) {
 	}
 	<-j.done
 	st := j.status()
-	if st.State != StateFailed || !st.Canceled {
+	if st.State != api.StateFailed || !st.Canceled {
 		t.Fatalf("straggler status = %+v, want failed+canceled", st)
 	}
 }
@@ -305,11 +339,11 @@ func TestSubmitDirectQueueFull(t *testing.T) {
 		t.Fatal(err)
 	}
 	// No Start: nothing consumes the queue, so the single slot fills.
-	j1 := s.jobs.add(&Request{}, nil, s.profile, time.Second)
+	j1 := s.jobs.add(&api.CompileRequest{}, nil, s.profile, time.Second)
 	if err := s.Submit(j1); err != nil {
 		t.Fatal(err)
 	}
-	j2 := s.jobs.add(&Request{}, nil, s.profile, time.Second)
+	j2 := s.jobs.add(&api.CompileRequest{}, nil, s.profile, time.Second)
 	if err := s.Submit(j2); err != ErrQueueFull {
 		t.Fatalf("Submit on full queue = %v, want ErrQueueFull", err)
 	}
@@ -320,8 +354,8 @@ func TestJobRetention(t *testing.T) {
 	store := newJobStore(2)
 	var ids []string
 	for i := 0; i < 4; i++ {
-		j := store.add(&Request{}, nil, nil, time.Second)
-		j.finish(&Result{}, nil, false, false)
+		j := store.add(&api.CompileRequest{}, nil, nil, time.Second)
+		j.finish(&api.Result{}, nil, false, false)
 		store.retired(j)
 		ids = append(ids, j.ID)
 	}
@@ -350,25 +384,25 @@ func TestPickMode(t *testing.T) {
 		{"", 11, false},
 		{"auto", 3, true},
 	} {
-		sync, err := s.pickMode(&Request{Mode: tc.mode}, tc.gates)
+		sync, err := s.pickMode(&api.CompileRequest{Mode: tc.mode}, tc.gates)
 		if err != nil || sync != tc.sync {
 			t.Errorf("pickMode(%q, %d) = %v, %v; want %v", tc.mode, tc.gates, sync, err, tc.sync)
 		}
 	}
-	if _, err := s.pickMode(&Request{Mode: "nope"}, 1); err == nil {
+	if _, err := s.pickMode(&api.CompileRequest{Mode: "nope"}, 1); err == nil {
 		t.Error("bad mode accepted")
 	}
 }
 
 func TestJobTimeoutClamp(t *testing.T) {
 	s, _ := newTestServer(t, Config{Workers: 1, DefaultTimeout: 7 * time.Second, MaxTimeout: 30 * time.Second})
-	if d := s.jobTimeout(&Request{}); d != 7*time.Second {
+	if d := s.jobTimeout(&api.CompileRequest{}); d != 7*time.Second {
 		t.Errorf("default timeout = %v", d)
 	}
-	if d := s.jobTimeout(&Request{TimeoutMs: 1000}); d != time.Second {
+	if d := s.jobTimeout(&api.CompileRequest{TimeoutMs: 1000}); d != time.Second {
 		t.Errorf("requested timeout = %v", d)
 	}
-	if d := s.jobTimeout(&Request{TimeoutMs: int64(time.Hour / time.Millisecond)}); d != 30*time.Second {
+	if d := s.jobTimeout(&api.CompileRequest{TimeoutMs: int64(time.Hour / time.Millisecond)}); d != 30*time.Second {
 		t.Errorf("clamped timeout = %v", d)
 	}
 }
@@ -378,13 +412,13 @@ func TestJobTimeoutClamp(t *testing.T) {
 // resource amplification.
 func TestJobWorkersClamp(t *testing.T) {
 	s, _ := newTestServer(t, Config{Workers: 1, MaxJobWorkers: 4})
-	if n := s.jobWorkers(&Request{}); n != 0 {
+	if n := s.jobWorkers(&api.CompileRequest{}); n != 0 {
 		t.Errorf("default workers = %d, want 0 (pipeline default)", n)
 	}
-	if n := s.jobWorkers(&Request{Workers: 3}); n != 3 {
+	if n := s.jobWorkers(&api.CompileRequest{Workers: 3}); n != 3 {
 		t.Errorf("requested workers = %d, want 3", n)
 	}
-	if n := s.jobWorkers(&Request{Workers: 10000}); n != 4 {
+	if n := s.jobWorkers(&api.CompileRequest{Workers: 10000}); n != 4 {
 		t.Errorf("clamped workers = %d, want 4", n)
 	}
 }
@@ -394,16 +428,16 @@ func TestJobWorkersClamp(t *testing.T) {
 // error chain — a 422 failure, not a 504 timeout.
 func TestFailureAtDeadlineIsFailure(t *testing.T) {
 	s, ts := newTestServer(t, Config{Workers: 1})
-	s.compileFn = func(ctx context.Context, j *Job) (*Result, error) {
+	s.compileFn = func(ctx context.Context, j *Job) (*api.Result, error) {
 		<-ctx.Done() // let the deadline fire first
 		return nil, errors.New("fidelity below target at max duration")
 	}
-	code, out := postCompile(t, ts, Request{Circuit: tinyCircuit, Mode: "sync", TimeoutMs: 5})
+	code, out := postCompile(t, ts, api.CompileRequest{Circuit: tinyCircuit, Mode: "sync", TimeoutMs: 5})
 	if code != http.StatusUnprocessableEntity {
-		t.Fatalf("failure at deadline: HTTP %d (%+v), want 422", code, out.Status)
+		t.Fatalf("failure at deadline: HTTP %d (%+v), want 422", code, out.JobStatus)
 	}
-	if out.State != StateFailed || out.TimedOut || out.Canceled {
-		t.Fatalf("status = %+v, want plain failure", out.Status)
+	if out.State != api.StateFailed || out.TimedOut || out.Canceled {
+		t.Fatalf("status = %+v, want plain failure", out.JobStatus)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 
+	"paqoc/internal/api"
 	"paqoc/internal/obs"
 )
 
@@ -23,12 +24,12 @@ import (
 func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.jobs.get(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, "no such job")
+		api.WriteError(w, http.StatusNotFound, api.CodeJobNotFound, "no such job")
 		return
 	}
 	flusher, ok := w.(http.Flusher)
 	if !ok {
-		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		api.WriteError(w, http.StatusInternalServerError, api.CodeStreamUnsupported, "streaming unsupported")
 		return
 	}
 	// Subscribe before writing headers: history and the live channel are

@@ -1,6 +1,8 @@
 package server
 
 import (
+	"paqoc/internal/api"
+
 	"bufio"
 	"context"
 	"encoding/json"
@@ -109,7 +111,7 @@ func checkSSEStream(t *testing.T, frames []sseFrame, wantState string) (stages, 
 		case obs.EventConvergence:
 			convs++
 		case obs.EventState:
-			if ev.State == wantState || ev.State == string(StateFailed) {
+			if ev.State == wantState || ev.State == string(api.StateFailed) {
 				terminalSeen = true
 				if ev.State != wantState {
 					t.Fatalf("job ended %q (%s), want %q", ev.State, ev.Err, wantState)
@@ -130,16 +132,16 @@ func TestSSESubscribeMidJob(t *testing.T) {
 	s, ts := newTestServer(t, Config{Workers: 1})
 	started := make(chan struct{})
 	release := make(chan struct{})
-	s.compileFn = func(ctx context.Context, j *Job) (*Result, error) {
+	s.compileFn = func(ctx context.Context, j *Job) (*api.Result, error) {
 		j.events.PublishStage("route", time.Millisecond)
 		close(started)
 		<-release
 		j.events.PublishConvergence("CZ q0 q1", obs.ConvergencePoint{Iter: 25, Fidelity: 0.995, GradNorm: 1e-3})
 		j.events.PublishStage("optimize", 2*time.Millisecond)
-		return &Result{}, nil
+		return &api.Result{}, nil
 	}
 
-	code, out := postCompile(t, ts, Request{Circuit: tinyCircuit, Mode: "async"})
+	code, out := postCompile(t, ts, api.CompileRequest{Circuit: tinyCircuit, Mode: "async"})
 	if code != http.StatusAccepted {
 		t.Fatalf("submit = %d, want 202", code)
 	}
@@ -152,7 +154,7 @@ func TestSSESubscribeMidJob(t *testing.T) {
 	close(release)
 
 	frames := <-framesCh
-	stages, convs := checkSSEStream(t, frames, string(StateDone))
+	stages, convs := checkSSEStream(t, frames, string(api.StateDone))
 	if stages != 2 {
 		t.Errorf("stage events = %d, want 2 (route replayed, optimize live)", stages)
 	}
@@ -165,16 +167,16 @@ func TestSSESubscribeMidJob(t *testing.T) {
 // still gets the full history followed by an immediate clean close.
 func TestSSEAfterCompletion(t *testing.T) {
 	s, ts := newTestServer(t, Config{Workers: 1})
-	s.compileFn = func(ctx context.Context, j *Job) (*Result, error) {
+	s.compileFn = func(ctx context.Context, j *Job) (*api.Result, error) {
 		j.events.PublishStage("emit", time.Millisecond)
-		return &Result{}, nil
+		return &api.Result{}, nil
 	}
-	code, out := postCompile(t, ts, Request{Circuit: tinyCircuit, Mode: "sync"})
+	code, out := postCompile(t, ts, api.CompileRequest{Circuit: tinyCircuit, Mode: "sync"})
 	if code != http.StatusOK {
 		t.Fatalf("sync compile = %d, want 200", code)
 	}
 	frames := getSSE(t, ts, out.JobID)
-	stages, _ := checkSSEStream(t, frames, string(StateDone))
+	stages, _ := checkSSEStream(t, frames, string(api.StateDone))
 	if stages != 1 {
 		t.Errorf("replayed stage events = %d, want 1", stages)
 	}
@@ -182,8 +184,8 @@ func TestSSEAfterCompletion(t *testing.T) {
 
 func TestSSEUnknownAndEvictedJob(t *testing.T) {
 	s, ts := newTestServer(t, Config{Workers: 1, JobRetention: 1})
-	s.compileFn = func(ctx context.Context, j *Job) (*Result, error) {
-		return &Result{}, nil
+	s.compileFn = func(ctx context.Context, j *Job) (*api.Result, error) {
+		return &api.Result{}, nil
 	}
 
 	resp, err := http.Get(ts.URL + "/v1/jobs/job-999999/events")
@@ -196,8 +198,8 @@ func TestSSEUnknownAndEvictedJob(t *testing.T) {
 	}
 
 	// Retention 1: finishing a second job evicts the first.
-	_, first := postCompile(t, ts, Request{Circuit: tinyCircuit, Mode: "sync"})
-	_, _ = postCompile(t, ts, Request{Circuit: tinyCircuit, Mode: "sync"})
+	_, first := postCompile(t, ts, api.CompileRequest{Circuit: tinyCircuit, Mode: "sync"})
+	_, _ = postCompile(t, ts, api.CompileRequest{Circuit: tinyCircuit, Mode: "sync"})
 	resp, err = http.Get(ts.URL + "/v1/jobs/" + first.JobID + "/events")
 	if err != nil {
 		t.Fatal(err)
@@ -212,10 +214,10 @@ func TestSSEUnknownAndEvictedJob(t *testing.T) {
 // carries the failure message.
 func TestSSEFailedJobCarriesError(t *testing.T) {
 	s, ts := newTestServer(t, Config{Workers: 1})
-	s.compileFn = func(ctx context.Context, j *Job) (*Result, error) {
+	s.compileFn = func(ctx context.Context, j *Job) (*api.Result, error) {
 		return nil, context.DeadlineExceeded
 	}
-	code, out := postCompile(t, ts, Request{Circuit: tinyCircuit, Mode: "sync"})
+	code, out := postCompile(t, ts, api.CompileRequest{Circuit: tinyCircuit, Mode: "sync"})
 	if code != http.StatusGatewayTimeout {
 		t.Fatalf("failed compile = %d, want 504", code)
 	}
@@ -229,7 +231,7 @@ func TestSSEFailedJobCarriesError(t *testing.T) {
 		if err := json.Unmarshal([]byte(f.data), &ev); err != nil {
 			t.Fatal(err)
 		}
-		if ev.State == string(StateFailed) && ev.Err != "" {
+		if ev.State == string(api.StateFailed) && ev.Err != "" {
 			sawFailure = true
 		}
 	}
