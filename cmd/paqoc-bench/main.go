@@ -42,11 +42,14 @@ func main() {
 		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "per-benchmark sweep worker pool size (1 = serial)")
 		backend  = flag.String("backend", "", "device profile for the sweeps (default: the paper's xy-grid-5x5)")
 		backends = flag.String("backends", "", "comma-separated device profiles for the backends experiment (default: every registered profile)")
+
+		mineRounds = flag.Int("mine-rounds", 6, "rounds of workload replay for the mining experiment")
+		mineBudget = flag.Int("mine-budget", 64, "patterns pre-generated per idle window in the mining experiment")
 	)
 	flag.Parse()
 
 	if *list {
-		fmt.Println("experiments: fig2 fig6 fig10 fig11 fig12 fig13 fig14 table1 table2 table2noisy table2full table3 ablate kernels pulsedb backends all")
+		fmt.Println("experiments: fig2 fig6 fig10 fig11 fig12 fig13 fig14 table1 table2 table2noisy table2full table3 ablate kernels pulsedb mining backends all")
 		fmt.Println("backends:")
 		for _, name := range device.Names() {
 			prof, _ := device.Lookup(name)
@@ -84,6 +87,7 @@ func main() {
 	var jsonRows []experiments.BenchRow
 	var kernelRecs []experiments.KernelRecord
 	var pulseDBRecs []experiments.PulseDBRecord
+	var miningRecs []experiments.MiningRecord
 
 	var run func(string)
 	run = func(name string) {
@@ -152,6 +156,11 @@ func main() {
 		case "pulsedb":
 			pulseDBRecs = experiments.PulseDB()
 			experiments.PrintPulseDB(out, pulseDBRecs)
+		case "mining":
+			var err error
+			miningRecs, err = experiments.MiningReplay(*mineRounds, *mineBudget)
+			check(err)
+			experiments.PrintMiningReplay(out, miningRecs)
 		case "backends":
 			var names, benchNames []string
 			if *backends != "" {
@@ -201,12 +210,16 @@ func main() {
 			if err := writePulseDBJSON(*jsonOut, pulseDBRecs); err != nil {
 				fatal(err)
 			}
+		case miningRecs != nil:
+			if err := writeMiningJSON(*jsonOut, miningRecs); err != nil {
+				fatal(err)
+			}
 		case jsonRows != nil:
 			if err := writeBenchJSON(*jsonOut, jsonRows, p.Obs); err != nil {
 				fatal(err)
 			}
 		default:
-			fmt.Fprintf(os.Stderr, "paqoc-bench: -json applies to sweep experiments (fig10/fig11/fig12/all), kernels, and pulsedb; nothing to write for %q\n", flag.Arg(0))
+			fmt.Fprintf(os.Stderr, "paqoc-bench: -json applies to sweep experiments (fig10/fig11/fig12/all), kernels, pulsedb, and mining; nothing to write for %q\n", flag.Arg(0))
 			return
 		}
 		fmt.Printf("results written to %s\n", *jsonOut)
@@ -220,6 +233,26 @@ func writePulseDBJSON(path string, recs []experiments.PulseDBRecord) error {
 		Schema  string                      `json:"schema"`
 		Results []experiments.PulseDBRecord `json:"results"`
 	}{Schema: "paqoc-bench/pulsedb/v1", Results: recs}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	werr := enc.Encode(doc)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}
+
+// writeMiningJSON emits the offline-mining replay records (the
+// BENCH_009.json artifact).
+func writeMiningJSON(path string, recs []experiments.MiningRecord) error {
+	doc := struct {
+		Schema  string                     `json:"schema"`
+		Results []experiments.MiningRecord `json:"results"`
+	}{Schema: "paqoc-bench/mining/v1", Results: recs}
 	f, err := os.Create(path)
 	if err != nil {
 		return err

@@ -62,7 +62,10 @@ func main() {
 	}
 
 	opts := mining.Options{MaxGates: *maxGates, MaxQubits: *maxQubits, MinSupport: *minSupport}
-	patterns := mining.MineCtx(context.Background(), c, opts)
+	patterns, err := mining.MineCtx(context.Background(), c, opts)
+	if err != nil {
+		fatal(err)
+	}
 	fmt.Printf("%d gates, %d frequent patterns (support ≥ %d)\n", len(c.Gates), len(patterns), *minSupport)
 	for i, p := range patterns {
 		if i >= *top {

@@ -9,7 +9,8 @@
 //	paqoc-server -addr :8080 -db pulses.db
 //
 // Endpoints: POST /v1/compile, GET /v1/jobs/{id}, GET /v1/jobs/{id}/events
-// (live SSE job stream), GET /healthz, GET /readyz, and GET /metrics
+// (live SSE job stream), GET /v1/mining/status (when -mine-interval > 0),
+// GET /healthz, GET /readyz, and GET /metrics
 // (JSON; ?format=text for a table, ?format=prom for Prometheus text
 // exposition). The unauthenticated /debug/pprof
 // endpoints are not on the API mux; -pprof <addr> serves them on a
@@ -68,6 +69,11 @@ func run() error {
 		clusterSelf   = flag.String("cluster-self", "", "this replica's advertised address in -peers (default: -cluster-listen)")
 		clusterRPCTO  = flag.Duration("cluster-timeout", 2*time.Second, "per-peer replication RPC timeout")
 		tenantMax     = flag.Int("tenant-max-inflight", 0, "per-tenant cap on queued+running jobs; a tenant at the cap gets 429 (0 = unlimited)")
+
+		mineInterval   = flag.Duration("mine-interval", 0, "offline APA mining run cadence; folds served circuits into cross-request pattern tables and pre-generates frequent patterns' pulses while the queue is idle (0 disables)")
+		mineMinSupport = flag.Int("mine-min-support", 2, "miner's cross-request recurrence threshold: a pattern must occur this many times across the corpus")
+		mineCorpusMax  = flag.Int("mine-corpus-max", 256, "bound on the miner's per-backend circuit corpus; past it the oldest circuit is evicted")
+		mineBudget     = flag.Int("mine-budget", 4, "max pulses pre-generated per idle mining run")
 	)
 	flag.Parse()
 
@@ -99,6 +105,10 @@ func run() error {
 		ClusterPeers:      peerList,
 		ClusterTimeout:    *clusterRPCTO,
 		TenantMaxInflight: *tenantMax,
+		MineInterval:      *mineInterval,
+		MineMinSupport:    *mineMinSupport,
+		MineCorpusMax:     *mineCorpusMax,
+		MineBudget:        *mineBudget,
 	})
 	if err != nil {
 		return err

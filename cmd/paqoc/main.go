@@ -147,7 +147,10 @@ func run() error {
 	case "inf":
 		cfg.M = paqoc.MInf
 	case "tuned":
-		patterns := mining.MineCtx(ctx, phys, mining.DefaultOptions())
+		patterns, err := mining.MineCtx(ctx, phys, mining.DefaultOptions())
+		if err != nil {
+			return err
+		}
 		cfg.M = mining.TunedM(phys, patterns, cfg.MinSupport)
 		fmt.Printf("tuned M = %d\n", cfg.M)
 	default:

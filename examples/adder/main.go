@@ -26,7 +26,10 @@ func main() {
 	fmt.Printf("4-bit Cuccaro adder: %d logical gates → %d physical gates\n",
 		len(logical.Gates), len(phys.Gates))
 
-	patterns := mining.MineCtx(context.Background(), phys, mining.DefaultOptions())
+	patterns, err := mining.MineCtx(context.Background(), phys, mining.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("most frequent subcircuits (MAJ/UMA internals):")
 	for i, p := range patterns {
 		if i >= 3 {

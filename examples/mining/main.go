@@ -27,7 +27,10 @@ func main() {
 	fmt.Printf("bv: %d logical gates → %d physical gates (%d swaps inserted by SABRE)\n",
 		len(logical.Gates), len(phys.Gates), routed.SwapCount)
 
-	patterns := mining.MineCtx(context.Background(), phys, mining.DefaultOptions())
+	patterns, err := mining.MineCtx(context.Background(), phys, mining.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("%d frequent patterns; top five by coverage:\n", len(patterns))
 	for i, p := range patterns {
 		if i >= 5 {

@@ -23,7 +23,10 @@ func main() {
 
 	// ── Offline: mine the parameterized circuit once ──────────────────
 	symbolic := bench.QAOAMaxcutSymbolic(n)
-	patterns := mining.MineCtx(context.Background(), symbolic, mining.DefaultOptions())
+	patterns, err := mining.MineCtx(context.Background(), symbolic, mining.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("offline mining on the symbolic circuit: %d patterns\n", len(patterns))
 	for i, p := range patterns {
 		if i >= 2 {

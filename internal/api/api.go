@@ -61,6 +61,10 @@ type CompileRequest struct {
 	Mode string `json:"mode,omitempty"`
 	// MaxN caps customized-gate width (default 3).
 	MaxN int `json:"max_n,omitempty"`
+	// MinSupport overrides the APA miner's recurrence threshold for this
+	// request (default 2). Negative values are rejected with 400 and error
+	// code "invalid_argument".
+	MinSupport int `json:"min_support,omitempty"`
 	// Workers is the intra-job pulse-generation pool width (default 1:
 	// cross-request parallelism comes from the server's own worker pool).
 	Workers int `json:"workers,omitempty"`
@@ -147,6 +151,50 @@ type Stage struct {
 	Stage string  `json:"stage"`
 	Count int     `json:"count"`
 	Ms    float64 `json:"ms"`
+}
+
+// MiningStatus is the GET /v1/mining/status body: the offline APA miner's
+// configuration and live cross-request statistics. When the miner is
+// disabled the endpoint returns 404 with the standard error envelope
+// instead of this type.
+type MiningStatus struct {
+	Enabled    bool  `json:"enabled"`
+	IntervalMs int64 `json:"interval_ms,omitempty"`
+	MinSupport int   `json:"min_support,omitempty"`
+	CorpusMax  int   `json:"corpus_max,omitempty"`
+	Budget     int   `json:"budget,omitempty"`
+
+	// Aggregates across every backend the miner tracks.
+	CorpusCircuits  int   `json:"corpus_circuits"`
+	PatternsTracked int   `json:"patterns_tracked"`
+	Pregenerated    int64 `json:"pregenerated"`
+	PregenHits      int64 `json:"pregen_hits"`
+	IdleRuns        int64 `json:"idle_runs"`
+	Yields          int64 `json:"yields"`
+
+	Backends []MiningBackendStatus `json:"backends,omitempty"`
+}
+
+// MiningBackendStatus is one backend fingerprint's slice of the miner.
+type MiningBackendStatus struct {
+	Backend         string          `json:"backend"`
+	Fingerprint     string          `json:"fingerprint"`
+	CorpusCircuits  int             `json:"corpus_circuits"`
+	PatternsTracked int             `json:"patterns_tracked"`
+	Pregenerated    int             `json:"pregenerated"`
+	TopPatterns     []MiningPattern `json:"top_patterns,omitempty"`
+}
+
+// MiningPattern is one cross-request frequent subcircuit as reported by
+// the mining status resource, ranked by Coverage.
+type MiningPattern struct {
+	Signature    string `json:"signature"`
+	GateCount    int    `json:"gate_count"`
+	QubitCount   int    `json:"qubit_count"`
+	Support      int    `json:"support"`
+	Circuits     int    `json:"circuits"`
+	Coverage     int    `json:"coverage"`
+	Pregenerated bool   `json:"pregenerated,omitempty"`
 }
 
 // Event is the payload of one Server-Sent Event on the live job stream

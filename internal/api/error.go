@@ -15,6 +15,10 @@ const (
 	// CodeUnknownBackend (400): the requested backend names no registered
 	// or dynamic device profile.
 	CodeUnknownBackend = "unknown_backend"
+	// CodeInvalidArgument (400): a request knob has an invalid value (for
+	// example a negative mining min_support) — distinct from CodeBadRequest
+	// so clients can tell a bad knob from a malformed body.
+	CodeInvalidArgument = "invalid_argument"
 	// CodeJobNotFound (404): no live or retained job has that id.
 	CodeJobNotFound = "job_not_found"
 	// CodeNotFound (404): the path names no resource on this API.

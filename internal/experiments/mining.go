@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"paqoc/internal/bench"
+	"paqoc/internal/circuit"
+	"paqoc/internal/mining"
+)
+
+// MiningRecord is one round of the offline-mining replay experiment
+// (BENCH_009.json): a fixed mix of benchmark circuits arrives round after
+// round, the cross-request pattern table folds each request, and after
+// every round an idle window pre-generates the top-coverage patterns not
+// yet covered. PregenHits counts this round's pattern instances whose
+// signature was pre-generated in an earlier round — the APA blocks a live
+// server would serve from the warm store without a GRAPE cold start.
+type MiningRecord struct {
+	Round            int     `json:"round"`
+	Requests         int     `json:"requests"`
+	CorpusCircuits   int     `json:"corpus_circuits"`
+	PatternsTracked  int     `json:"patterns_tracked"`
+	Pregenerated     int     `json:"pregenerated"`
+	PatternInstances int     `json:"pattern_instances"`
+	PregenHits       int     `json:"pregen_hits"`
+	HitRatePct       float64 `json:"hit_rate_pct"`
+	// OfflineGates accumulates the gate count of every pre-generated
+	// pattern — the modeled offline optimization investment (§V-C pays it
+	// during idle capacity; AccQOC pays it ahead of time).
+	OfflineGates int `json:"offline_gates"`
+}
+
+// miningWorkload is the replayed request mix: small Table I benchmarks
+// with recurring structure, the traffic shape the offline miner exists
+// for.
+var miningWorkload = []string{
+	"rd32_270", "decod24-v1_41", "hwb4_49", "simon", "qpe", "qaoa",
+}
+
+// MiningReplay replays `rounds` rounds of the workload through the
+// incremental cross-request table, pre-generating up to `budget` patterns
+// per idle window. Deterministic: same inputs, same records.
+func MiningReplay(rounds, budget int) ([]MiningRecord, error) {
+	if rounds <= 0 {
+		rounds = 6
+	}
+	if budget <= 0 {
+		budget = 64
+	}
+	ctx := context.Background()
+	opts := mining.DefaultOptions() // cross-request MinSupport 2
+
+	var workload []*circuit.Circuit
+	for _, name := range miningWorkload {
+		spec, ok := bench.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("mining replay: unknown benchmark %q", name)
+		}
+		workload = append(workload, spec.Build())
+	}
+
+	tbl, err := mining.NewTable(opts)
+	if err != nil {
+		return nil, err
+	}
+	// Per-request scan: disjoint pattern instances within one circuit,
+	// unfiltered (MinSupport 1) — the instance universe a warm store could
+	// serve.
+	scanOpts := opts
+	scanOpts.MinSupport = 1
+
+	pregen := map[string]bool{}
+	offlineGates := 0
+	nextID := 0
+	var out []MiningRecord
+
+	for round := 1; round <= rounds; round++ {
+		rec := MiningRecord{Round: round, Requests: len(workload)}
+		for _, c := range workload {
+			// The request's own pattern instances, judged against the
+			// pre-generated set from earlier idle windows.
+			pats, err := mining.MineCtx(ctx, c, scanOpts)
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range pats {
+				rec.PatternInstances += p.Support
+				if pregen[p.Signature] {
+					rec.PregenHits += p.Support
+				}
+			}
+			if err := tbl.Fold(ctx, nextID, c); err != nil {
+				return nil, err
+			}
+			nextID++
+		}
+		if rec.PatternInstances > 0 {
+			rec.HitRatePct = 100 * float64(rec.PregenHits) / float64(rec.PatternInstances)
+		}
+
+		// Idle window after the round: pre-generate the top-coverage
+		// uncovered patterns, budget-bounded like the live miner.
+		generated := 0
+		for _, p := range tbl.Patterns() {
+			if generated >= budget {
+				break
+			}
+			if pregen[p.Signature] {
+				continue
+			}
+			pregen[p.Signature] = true
+			offlineGates += p.GateCount
+			generated++
+		}
+
+		rec.CorpusCircuits = tbl.Circuits()
+		rec.PatternsTracked = len(tbl.Patterns())
+		rec.Pregenerated = len(pregen)
+		rec.OfflineGates = offlineGates
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// PrintMiningReplay renders the replay rounds as a table.
+func PrintMiningReplay(w io.Writer, recs []MiningRecord) {
+	fmt.Fprintln(w, "Offline mining replay: cross-request pattern table + idle pre-generation")
+	fmt.Fprintf(w, "workload: %v\n", miningWorkload)
+	fmt.Fprintf(w, "%-6s %9s %8s %9s %7s %10s %6s %8s %9s\n",
+		"round", "requests", "corpus", "patterns", "pregen", "instances", "hits", "hit%", "off.gates")
+	for _, r := range recs {
+		fmt.Fprintf(w, "%-6d %9d %8d %9d %7d %10d %6d %7.1f%% %9d\n",
+			r.Round, r.Requests, r.CorpusCircuits, r.PatternsTracked, r.Pregenerated,
+			r.PatternInstances, r.PregenHits, r.HitRatePct, r.OfflineGates)
+	}
+}

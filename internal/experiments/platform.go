@@ -146,7 +146,10 @@ func (p *Platform) RunMethods(phys *circuit.Circuit) ([]MethodResult, error) {
 			cfg.M = 0
 			name = "paqoc_m0"
 		case mTunedSentinel:
-			patterns := mining.MineCtx(ctx, phys, mining.DefaultOptions())
+			patterns, err := mining.MineCtx(ctx, phys, mining.DefaultOptions())
+			if err != nil {
+				return nil, err
+			}
 			cfg.M = mining.TunedM(phys, patterns, cfg.MinSupport)
 			name = "paqoc_mtuned"
 		default:

@@ -84,7 +84,10 @@ func (p *Platform) methodBlocks(phys *circuit.Circuit) (map[string]*critical.Blo
 			cfg.M = 0
 			name = "paqoc_m0"
 		case mTunedSentinel:
-			patterns := mining.MineCtx(context.Background(), phys, mining.DefaultOptions())
+			patterns, err := mining.MineCtx(context.Background(), phys, mining.DefaultOptions())
+			if err != nil {
+				return nil, err
+			}
 			cfg.M = mining.TunedM(phys, patterns, cfg.MinSupport)
 			name = "paqoc_mtuned"
 		default:

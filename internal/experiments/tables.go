@@ -134,7 +134,10 @@ func TableIII(p *Platform) ([]TableIIIRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		patterns := mining.MineCtx(context.Background(), phys, mining.DefaultOptions())
+		patterns, err := mining.MineCtx(context.Background(), phys, mining.DefaultOptions())
+		if err != nil {
+			return nil, err
+		}
 		if len(patterns) > 2 {
 			patterns = patterns[:2]
 		}

@@ -30,6 +30,27 @@ func DefaultOptions() Options {
 	return Options{MaxGates: 6, MaxQubits: 3, MinSupport: 2, EnumLimit: 300000}
 }
 
+// Validate rejects option values that fill used to clamp silently. Zero
+// still means "use the default" for every field; anything negative — and a
+// MaxGates of 1, which cannot hold a pattern (patterns have at least two
+// gates) — is a caller error that the public entry points (MineCtx,
+// MineCorpus, NewTable) now report instead of quietly rewriting.
+func (o Options) Validate() error {
+	switch {
+	case o.MaxGates < 0:
+		return fmt.Errorf("mining: MaxGates %d is negative (0 selects the default)", o.MaxGates)
+	case o.MaxGates == 1:
+		return fmt.Errorf("mining: MaxGates 1 cannot hold a pattern: patterns have at least 2 gates (0 selects the default)")
+	case o.MaxQubits < 0:
+		return fmt.Errorf("mining: MaxQubits %d is negative (0 selects the default)", o.MaxQubits)
+	case o.MinSupport < 0:
+		return fmt.Errorf("mining: MinSupport %d is negative (0 selects the default)", o.MinSupport)
+	case o.EnumLimit < 0:
+		return fmt.Errorf("mining: EnumLimit %d is negative (0 selects the default)", o.EnumLimit)
+	}
+	return nil
+}
+
 func (o *Options) fill() {
 	if o.MaxGates == 0 {
 		o.MaxGates = 6
@@ -63,29 +84,18 @@ func (p *Pattern) Coverage() int { return p.Support * p.GateCount }
 // MineCtx enumerates frequent subcircuits of the circuit, returning
 // patterns with at least MinSupport disjoint occurrences and at least two
 // gates, sorted by coverage (descending), ties by signature for
-// determinism. Observability: a "mining.enumerate" span around the
+// determinism. Invalid options (Options.Validate) are an error.
+// Observability: a "mining.enumerate" span around the
 // connected-subcircuit walk and counters for subcircuits enumerated,
 // extensions pruned by the qubit cap, pattern count, and whether the
 // enumeration budget overflowed.
-func MineCtx(ctx context.Context, c *circuit.Circuit, opts Options) []Pattern {
+func MineCtx(ctx context.Context, c *circuit.Circuit, opts Options) ([]Pattern, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	opts.fill()
 	reg := obs.MetricsFrom(ctx)
-	enum := newEnumerator(c, opts)
-	enum.enumerated = reg.Counter("mining.subcircuits_enumerated")
-	enum.pruned = reg.Counter("mining.pruned_qubit_cap")
-
-	_, span := obs.StartSpan(ctx, "mining.enumerate")
-	bySig := make(map[string][][]int)
-	enum.run(func(set []int) {
-		sig := enum.signature(set)
-		bySig[sig] = append(bySig[sig], append([]int(nil), set...))
-	})
-	span.SetAttr("signatures", len(bySig))
-	span.SetAttr("overflow", enum.overflow)
-	span.End()
-	if enum.overflow {
-		reg.Counter("mining.enum_overflows").Inc()
-	}
+	bySig := enumerateBySig(ctx, c, opts)
 
 	var out []Pattern
 	for sig, embeds := range bySig {
@@ -118,7 +128,33 @@ func MineCtx(ctx context.Context, c *circuit.Circuit, opts Options) []Pattern {
 		return out[i].Signature < out[j].Signature
 	})
 	reg.Counter("mining.patterns").Add(int64(len(out)))
-	return out
+	return out, nil
+}
+
+// enumerateBySig runs the connected-subcircuit walk on one circuit and
+// groups embeddings by canonical signature — the per-circuit primitive
+// shared by MineCtx, MineCorpus, and the incremental Table, so all three
+// agree on signatures by construction. opts must already be validated and
+// filled.
+func enumerateBySig(ctx context.Context, c *circuit.Circuit, opts Options) map[string][][]int {
+	reg := obs.MetricsFrom(ctx)
+	enum := newEnumerator(c, opts)
+	enum.enumerated = reg.Counter("mining.subcircuits_enumerated")
+	enum.pruned = reg.Counter("mining.pruned_qubit_cap")
+
+	_, span := obs.StartSpan(ctx, "mining.enumerate")
+	bySig := make(map[string][][]int)
+	enum.run(func(set []int) {
+		sig := enum.signature(set)
+		bySig[sig] = append(bySig[sig], append([]int(nil), set...))
+	})
+	span.SetAttr("signatures", len(bySig))
+	span.SetAttr("overflow", enum.overflow)
+	span.End()
+	if enum.overflow {
+		reg.Counter("mining.enum_overflows").Inc()
+	}
+	return bySig
 }
 
 // enumerator walks connected gate sets.

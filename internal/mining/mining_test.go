@@ -9,6 +9,16 @@ import (
 	"paqoc/internal/circuit"
 )
 
+// mustMine is MineCtx for tests that treat option errors as fatal.
+func mustMine(tb testing.TB, c *circuit.Circuit, opts Options) []Pattern {
+	tb.Helper()
+	patterns, err := MineCtx(context.Background(), c, opts)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return patterns
+}
+
 // swapChain builds the bv-style pattern: repeated SWAPs lowered to 3 CX.
 func swapChain(reps int) *circuit.Circuit {
 	c := circuit.New(reps + 1)
@@ -22,7 +32,7 @@ func swapChain(reps int) *circuit.Circuit {
 
 func TestMineFindsSwapPattern(t *testing.T) {
 	c := swapChain(4)
-	patterns := MineCtx(context.Background(), c, DefaultOptions())
+	patterns := mustMine(t, c, DefaultOptions())
 	if len(patterns) == 0 {
 		t.Fatal("no patterns found")
 	}
@@ -46,7 +56,7 @@ func TestMineControlTargetDisambiguation(t *testing.T) {
 		c.Add("cx", i, i+1)
 		c.AddParam("rz", []float64{0.5}, i+1) // on target
 	}
-	patterns := MineCtx(context.Background(), c, DefaultOptions())
+	patterns := mustMine(t, c, DefaultOptions())
 	var sigTarget string
 	for _, p := range patterns {
 		if p.GateCount == 2 && p.Support == 3 {
@@ -62,7 +72,7 @@ func TestMineControlTargetDisambiguation(t *testing.T) {
 		c2.Add("cx", i, i+1)
 		c2.AddParam("rz", []float64{0.5}, i) // on control
 	}
-	patterns2 := MineCtx(context.Background(), c2, DefaultOptions())
+	patterns2 := mustMine(t, c2, DefaultOptions())
 	var sigControl string
 	for _, p := range patterns2 {
 		if p.GateCount == 2 && p.Support == 3 {
@@ -85,7 +95,7 @@ func TestMineAngleSensitivity(t *testing.T) {
 	c.AddParam("rz", []float64{0.5}, 1)
 	c.Add("cx", 2, 3)
 	c.AddParam("rz", []float64{0.7}, 3)
-	if got := MineCtx(context.Background(), c, DefaultOptions()); len(got) != 0 {
+	if got := mustMine(t, c, DefaultOptions()); len(got) != 0 {
 		t.Errorf("different angles should not form a frequent pattern: %v", got)
 	}
 
@@ -94,7 +104,7 @@ func TestMineAngleSensitivity(t *testing.T) {
 	s.AddSymbolic("rz", "theta", 1)
 	s.Add("cx", 2, 3)
 	s.AddSymbolic("rz", "theta", 3)
-	if got := MineCtx(context.Background(), s, DefaultOptions()); len(got) == 0 {
+	if got := mustMine(t, s, DefaultOptions()); len(got) == 0 {
 		t.Error("matching symbolic angles should form a pattern")
 	}
 }
@@ -107,7 +117,7 @@ func TestMineQubitPermutationInvariance(t *testing.T) {
 	c.Add("cx", 0, 1)
 	c.Add("h", 4)
 	c.Add("cx", 4, 5)
-	patterns := MineCtx(context.Background(), c, DefaultOptions())
+	patterns := mustMine(t, c, DefaultOptions())
 	found := false
 	for _, p := range patterns {
 		if p.GateCount == 2 && p.Support == 2 {
@@ -128,7 +138,7 @@ func TestMineRespectsQubitCap(t *testing.T) {
 	}
 	opts := DefaultOptions()
 	opts.MaxQubits = 3
-	for _, p := range MineCtx(context.Background(), c, opts) {
+	for _, p := range mustMine(t, c, opts) {
 		if p.QubitCount > 3 {
 			t.Errorf("pattern exceeds qubit cap: %q on %d qubits", p.Signature, p.QubitCount)
 		}
@@ -139,7 +149,7 @@ func TestMineRespectsGateCap(t *testing.T) {
 	c := swapChain(5)
 	opts := DefaultOptions()
 	opts.MaxGates = 2
-	for _, p := range MineCtx(context.Background(), c, opts) {
+	for _, p := range mustMine(t, c, opts) {
 		if p.GateCount > 2 {
 			t.Errorf("pattern exceeds gate cap: %d", p.GateCount)
 		}
@@ -155,7 +165,7 @@ func TestMineCPhasePattern(t *testing.T) {
 		c.AddParam("rz", []float64{gamma}, p[1])
 		c.Add("cx", p[0], p[1])
 	}
-	patterns := MineCtx(context.Background(), c, DefaultOptions())
+	patterns := mustMine(t, c, DefaultOptions())
 	if len(patterns) == 0 {
 		t.Fatal("no patterns")
 	}
@@ -179,7 +189,7 @@ func TestSupportCountsAreExact(t *testing.T) {
 	c.Add("h", 0)
 	opts := DefaultOptions()
 	opts.MinSupport = 1
-	patterns := MineCtx(context.Background(), c, opts)
+	patterns := mustMine(t, c, opts)
 	for _, p := range patterns {
 		if p.GateCount == 2 && p.Support != 1 {
 			t.Errorf("h;h support = %d, want 1 (disjoint)", p.Support)
@@ -203,7 +213,7 @@ func TestConvex(t *testing.T) {
 
 func TestSelectCoverageGreedy(t *testing.T) {
 	c := swapChain(4) // 12 gates, all covered by the SWAP pattern
-	patterns := MineCtx(context.Background(), c, DefaultOptions())
+	patterns := mustMine(t, c, DefaultOptions())
 	sels := Select(c, patterns, 1, 2)
 	if len(sels) != 1 {
 		t.Fatalf("selections = %d", len(sels))
@@ -225,7 +235,7 @@ func TestSelectCoverageGreedy(t *testing.T) {
 
 func TestSelectMZero(t *testing.T) {
 	c := swapChain(3)
-	if got := Select(c, MineCtx(context.Background(), c, DefaultOptions()), 0, 2); got != nil {
+	if got := Select(c, mustMine(t, c, DefaultOptions()), 0, 2); got != nil {
 		t.Error("M=0 must select nothing")
 	}
 }
@@ -243,7 +253,7 @@ func TestSelectUnlimited(t *testing.T) {
 	c.Add("t", 2)
 	c.Add("h", 5)
 	c.Add("t", 5)
-	patterns := MineCtx(context.Background(), c, DefaultOptions())
+	patterns := mustMine(t, c, DefaultOptions())
 	limited := Select(c, patterns, 1, 2)
 	unlimited := Select(c, patterns, -1, 2)
 	if len(unlimited) <= len(limited) {
@@ -253,22 +263,22 @@ func TestSelectUnlimited(t *testing.T) {
 
 func TestTunedM(t *testing.T) {
 	c := swapChain(4)
-	patterns := MineCtx(context.Background(), c, DefaultOptions())
+	patterns := mustMine(t, c, DefaultOptions())
 	m := TunedM(c, patterns, 2)
 	if m != 1 {
 		t.Errorf("TunedM = %d, want 1 (one pattern covers everything)", m)
 	}
 	empty := circuit.New(2)
 	empty.Add("h", 0)
-	if got := TunedM(empty, MineCtx(context.Background(), empty, DefaultOptions()), 2); got != 0 {
+	if got := TunedM(empty, mustMine(t, empty, DefaultOptions()), 2); got != 0 {
 		t.Errorf("TunedM on patternless circuit = %d, want 0", got)
 	}
 }
 
 func TestMineDeterminism(t *testing.T) {
 	c := swapChain(4)
-	a := MineCtx(context.Background(), c, DefaultOptions())
-	b := MineCtx(context.Background(), c, DefaultOptions())
+	a := mustMine(t, c, DefaultOptions())
+	b := mustMine(t, c, DefaultOptions())
 	if len(a) != len(b) {
 		t.Fatal("nondeterministic pattern count")
 	}
@@ -284,16 +294,16 @@ func TestMineEnumLimitGraceful(t *testing.T) {
 	opts := DefaultOptions()
 	opts.EnumLimit = 50
 	// Must not hang or panic; may return fewer patterns.
-	_ = MineCtx(context.Background(), c, opts)
+	_ = mustMine(t, c, opts)
 }
 
 func TestMineEmptyAndTinyCircuits(t *testing.T) {
-	if got := MineCtx(context.Background(), circuit.New(3), DefaultOptions()); len(got) != 0 {
+	if got := mustMine(t, circuit.New(3), DefaultOptions()); len(got) != 0 {
 		t.Error("empty circuit should have no patterns")
 	}
 	one := circuit.New(2)
 	one.Add("cx", 0, 1)
-	if got := MineCtx(context.Background(), one, DefaultOptions()); len(got) != 0 {
+	if got := mustMine(t, one, DefaultOptions()); len(got) != 0 {
 		t.Error("single gate cannot recur")
 	}
 }
@@ -305,6 +315,6 @@ func BenchmarkMineSwapChain(b *testing.B) {
 	opts := DefaultOptions()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		MineCtx(context.Background(), c, opts)
+		mustMine(b, c, opts)
 	}
 }

@@ -1,0 +1,269 @@
+package mining
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"paqoc/internal/circuit"
+)
+
+// buildRandomCircuit emits a pattern-rich random circuit: a mix of
+// single-qubit gates, CX, and injected SWAP/CPHASE idioms (5-25
+// operations) so cross-circuit frequent patterns exist.
+func buildRandomCircuit(rng *rand.Rand) *circuit.Circuit {
+	nq := 3 + rng.Intn(4)
+	c := circuit.New(nq)
+	nops := 5 + rng.Intn(21)
+	for i := 0; i < nops; i++ {
+		a := rng.Intn(nq)
+		b := (a + 1 + rng.Intn(nq-1)) % nq
+		switch rng.Intn(6) {
+		case 0:
+			c.Add("h", a)
+		case 1:
+			c.Add("t", a)
+		case 2:
+			c.Add("cx", a, b)
+		case 3: // SWAP idiom
+			c.Add("cx", a, b)
+			c.Add("cx", b, a)
+			c.Add("cx", a, b)
+		case 4: // CPHASE idiom with a shared angle
+			c.Add("cx", a, b)
+			c.AddParam("rz", []float64{0.25}, b)
+			c.Add("cx", a, b)
+		case 5:
+			c.Add("h", a)
+			c.Add("cx", a, b)
+		}
+	}
+	return c
+}
+
+func samePatterns(t *testing.T, got, want []CorpusPattern, step string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d patterns incrementally, %d batch", step, len(got), len(want))
+	}
+	for i := range got {
+		g, w := got[i], want[i]
+		if g.Signature != w.Signature || g.Support != w.Support || g.Circuits != w.Circuits ||
+			g.GateCount != w.GateCount || g.QubitCount != w.QubitCount {
+			t.Fatalf("%s: pattern %d differs:\n  incr  %+v\n  batch %+v", step, i, g, w)
+		}
+		if len(g.Rep) != len(w.Rep) {
+			t.Fatalf("%s: pattern %d rep lengths differ (%d vs %d)", step, i, len(g.Rep), len(w.Rep))
+		}
+		for k := range g.Rep {
+			if g.Rep[k].String() != w.Rep[k].String() {
+				t.Fatalf("%s: pattern %d rep gate %d differs: %s vs %s",
+					step, i, k, g.Rep[k].String(), w.Rep[k].String())
+			}
+		}
+	}
+}
+
+// TestTableMatchesBatch is the batch ≡ incremental pin: folding a random
+// circuit stream — including corpus-cap evictions of the oldest circuits —
+// produces exactly the pattern table MineCorpus computes from scratch over
+// the live set, at every step.
+func TestTableMatchesBatch(t *testing.T) {
+	ctx := context.Background()
+	opts := DefaultOptions()
+	opts.MinSupport = 3 // cross-circuit: no single circuit need reach it
+	const corpusCap = 6
+
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		tbl, err := NewTable(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		live := map[int]*circuit.Circuit{} // id → circuit
+		var order []int                    // fold order, oldest first
+		for step := 0; step < 40; step++ {
+			c := buildRandomCircuit(rng)
+			id := step
+			if err := tbl.Fold(ctx, id, c); err != nil {
+				t.Fatal(err)
+			}
+			live[id] = c
+			order = append(order, id)
+			for len(order) > corpusCap { // corpus bound: evict oldest
+				old := order[0]
+				order = order[1:]
+				tbl.Evict(old)
+				delete(live, old)
+			}
+
+			// Batch reference over the live set in id order.
+			var corpus []*circuit.Circuit
+			for _, lid := range order {
+				corpus = append(corpus, live[lid])
+			}
+			want, err := MineCorpus(ctx, corpus, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// MineCorpus ids are slice indices; live ids differ, but the
+			// lowest-id rule picks the same (oldest) circuit either way, so
+			// reps must agree too.
+			samePatterns(t, tbl.Patterns(), want, fmt.Sprintf("seed %d step %d", seed, step))
+			if tbl.Circuits() != len(corpus) {
+				t.Fatalf("Circuits() = %d, want %d", tbl.Circuits(), len(corpus))
+			}
+		}
+	}
+}
+
+// TestTableSingleCircuitMatchesMineCtx: over a one-circuit corpus the
+// cross-request table degenerates to per-circuit mining — same signatures,
+// supports, and coverage ranking as MineCtx.
+func TestTableSingleCircuitMatchesMineCtx(t *testing.T) {
+	ctx := context.Background()
+	c := swapChain(4)
+	opts := DefaultOptions()
+
+	want, err := MineCtx(ctx, c, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := NewTable(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Fold(ctx, 0, c); err != nil {
+		t.Fatal(err)
+	}
+	got := tbl.Patterns()
+	if len(got) != len(want) {
+		t.Fatalf("table has %d patterns, MineCtx %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Signature != want[i].Signature || got[i].Support != want[i].Support ||
+			got[i].Coverage() != want[i].Coverage() {
+			t.Fatalf("pattern %d: table (%s, %d) vs MineCtx (%s, %d)",
+				i, got[i].Signature, got[i].Support, want[i].Signature, want[i].Support)
+		}
+	}
+}
+
+// TestTableCrossRequestSupport: a pattern occurring once per circuit never
+// reaches MinSupport=3 within any single request but must surface once
+// three requests carry it (support 3 = the ISSUE's aggregate rule).
+func TestTableCrossRequestSupport(t *testing.T) {
+	ctx := context.Background()
+	opts := DefaultOptions()
+	opts.MinSupport = 3
+	tbl, err := NewTable(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := func() *circuit.Circuit {
+		c := circuit.New(2)
+		c.Add("cx", 0, 1)
+		c.Add("cx", 1, 0)
+		c.Add("cx", 0, 1)
+		return c
+	}
+	for i := 0; i < 2; i++ {
+		if err := tbl.Fold(ctx, i, one()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if pats := tbl.Patterns(); len(pats) != 0 {
+		t.Fatalf("2 occurrences must not reach MinSupport 3, got %d patterns", len(pats))
+	}
+	if err := tbl.Fold(ctx, 2, one()); err != nil {
+		t.Fatal(err)
+	}
+	pats := tbl.Patterns()
+	if len(pats) == 0 {
+		t.Fatal("3 one-per-circuit occurrences must reach MinSupport 3")
+	}
+	if pats[0].Support != 3 || pats[0].Circuits != 3 {
+		t.Fatalf("top pattern support=%d circuits=%d, want 3/3", pats[0].Support, pats[0].Circuits)
+	}
+}
+
+func TestTableFoldDuplicateID(t *testing.T) {
+	tbl, err := NewTable(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Fold(context.Background(), 7, swapChain(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Fold(context.Background(), 7, swapChain(2)); err == nil {
+		t.Error("folding the same id twice must error")
+	}
+	tbl.Evict(99) // unknown id: no-op, must not panic
+}
+
+// TestOptionsValidate pins the fix for the silent-clamp bug: negative (and
+// unusable) option values now error from every public entry point instead
+// of being rewritten to defaults.
+func TestOptionsValidate(t *testing.T) {
+	bad := []Options{
+		{MinSupport: -1},
+		{MaxGates: -3},
+		{MaxGates: 1},
+		{MaxQubits: -2},
+		{EnumLimit: -10},
+	}
+	for i, o := range bad {
+		if err := o.Validate(); err == nil {
+			t.Errorf("case %d: Validate(%+v) = nil, want error", i, o)
+		}
+		if _, err := MineCtx(context.Background(), swapChain(2), o); err == nil {
+			t.Errorf("case %d: MineCtx accepted invalid options", i)
+		}
+		if _, err := MineCorpus(context.Background(), nil, o); err == nil {
+			t.Errorf("case %d: MineCorpus accepted invalid options", i)
+		}
+		if _, err := NewTable(o); err == nil {
+			t.Errorf("case %d: NewTable accepted invalid options", i)
+		}
+	}
+	// Zero still selects the defaults.
+	if err := (Options{}).Validate(); err != nil {
+		t.Errorf("zero options must stay valid (defaults): %v", err)
+	}
+}
+
+// BenchmarkIncrementalMine measures the steady-state cost of folding one
+// circuit into a warm table at the corpus cap (fold + evict), the per-
+// request cost the miner service pays — contrast BenchmarkMineSwapChain's
+// full batch re-mine.
+func BenchmarkIncrementalMine(b *testing.B) {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(1))
+	const corpusCap = 64
+	circuits := make([]*circuit.Circuit, corpusCap+1)
+	for i := range circuits {
+		circuits[i] = buildRandomCircuit(rng)
+	}
+	tbl, err := NewTable(DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < corpusCap; i++ {
+		if err := tbl.Fold(ctx, i, circuits[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := corpusCap + i
+		if err := tbl.Fold(ctx, id, circuits[id%len(circuits)]); err != nil {
+			b.Fatal(err)
+		}
+		tbl.Evict(id - corpusCap)
+		if i%100 == 0 {
+			_ = tbl.Patterns()
+		}
+	}
+}

@@ -44,6 +44,17 @@ func goldenRegistry() *Registry {
 	hv.WithLabelValues("emit").Observe(0.2)
 	hv.WithLabelValues("emit").Observe(20)
 	r.SetHelp(StageMetric, "Per-stage wall clock (ms).")
+
+	// The offline miner's families, as preregistered by the server.
+	r.Counter("miner.pregenerated").Add(2)
+	r.SetHelp("miner.pregenerated", "APA-basis pulses pre-generated during idle capacity.")
+	r.Counter("miner.pregen_hits").Add(5)
+	r.Counter("miner.idle_runs").Add(3)
+	r.Counter("miner.yields").Add(1)
+	r.Gauge("miner.patterns_tracked").Set(4)
+	r.Gauge("miner.corpus_circuits").Set(12)
+	mh := r.Histogram("miner.pregen_ms", []float64{10, 1000})
+	mh.Observe(250)
 	return r
 }
 

@@ -229,7 +229,11 @@ func (cp *Compiler) CompileCtx(ctx context.Context, phys *circuit.Circuit) (*Res
 	if selections == nil && cp.Cfg.M != 0 {
 		mctx, span := obs.StartSpan(ctx, "paqoc.mine")
 		t0 := time.Now()
-		patterns := mining.MineCtx(mctx, phys, cp.miningOpts())
+		patterns, err := mining.MineCtx(mctx, phys, cp.miningOpts())
+		if err != nil {
+			span.End()
+			return nil, fmt.Errorf("paqoc: %w", err)
+		}
 		selections = mining.Select(phys, patterns, cp.Cfg.M, cp.Cfg.MinSupport)
 		stageDone("mine", t0)
 		span.SetAttr("patterns", len(patterns))

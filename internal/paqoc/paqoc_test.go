@@ -109,7 +109,10 @@ func TestAPAReducesCompileCost(t *testing.T) {
 
 func TestTunedMBetweenExtremes(t *testing.T) {
 	c := swapHeavy(5, 4)
-	patterns := mining.MineCtx(context.Background(), c, mining.DefaultOptions())
+	patterns, err := mining.MineCtx(context.Background(), c, mining.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
 	m := mining.TunedM(c, patterns, 2)
 	if m <= 0 {
 		t.Skip("no tuned M on this circuit")
@@ -208,7 +211,10 @@ func TestParameterizedOfflineOnline(t *testing.T) {
 		sym.AddSymbolic("rz", "gamma", i+1)
 		sym.Add("cx", i, i+1)
 	}
-	patterns := mining.MineCtx(context.Background(), sym, mining.DefaultOptions())
+	patterns, err := mining.MineCtx(context.Background(), sym, mining.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(patterns) == 0 {
 		t.Fatal("offline mining found nothing on the symbolic circuit")
 	}

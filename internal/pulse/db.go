@@ -252,6 +252,15 @@ func (db *DB) get(key string) *Entry {
 	return e
 }
 
+// Peek returns the live entry stored under u's exact canonical key without
+// recording a use or a miss — introspection for services that track an
+// entry's lifecycle (the offline miner's pregen-hit accounting), not a
+// lookup path. Permuted keys are not consulted.
+func (db *DB) Peek(u *linalg.Matrix) (*Entry, bool) {
+	e := db.get(db.key(CanonicalKey(u)))
+	return e, e != nil
+}
+
 // Lookup finds a stored pulse for u, trying first the exact canonical key
 // and then every qubit permutation of u (§V-B: "for the same customized
 // gate with permuted qubits, it will also be detected"). The permutation

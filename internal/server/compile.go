@@ -9,6 +9,7 @@ import (
 	"paqoc/internal/bench"
 	"paqoc/internal/circuit"
 	"paqoc/internal/grape"
+	"paqoc/internal/miner"
 	"paqoc/internal/obs"
 	"paqoc/internal/paqoc"
 	"paqoc/internal/pulse"
@@ -71,6 +72,16 @@ func (s *Server) compile(ctx context.Context, j *Job) (*api.Result, error) {
 		span.End()
 		return nil, err
 	}
+	if s.miner != nil {
+		// Feed the offline miner the physical circuit — the same form the
+		// compile-time APA pass mines, so cross-request patterns share
+		// canonical signatures with per-request ones. Non-blocking.
+		s.miner.Observe(miner.Backend{
+			Profile: j.profile,
+			DB:      db,
+			Remote:  s.remoteFor(j.profile),
+		}, phys)
+	}
 
 	cfg := paqoc.DefaultConfig()
 	cfg.ProbeCaseII = false
@@ -83,6 +94,10 @@ func (s *Server) compile(ctx context.Context, j *Job) (*api.Result, error) {
 	}
 	if req.APA {
 		cfg.M = paqoc.MInf
+	}
+	if req.MinSupport > 0 {
+		cfg.MinSupport = req.MinSupport
+		cfg.Mining.MinSupport = req.MinSupport
 	}
 
 	var gen pulse.Generator

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"paqoc/internal/api"
+	"paqoc/internal/mining"
 )
 
 // maxBodyBytes bounds a compile request body (QASM sources are text; 8 MiB
@@ -21,6 +22,7 @@ const maxBodyBytes = 8 << 20
 //	GET  /v1/jobs/{id}        job status and result
 //	GET  /v1/jobs/{id}/events live job stream (Server-Sent Events): stage
 //	                          transitions, sampled GRAPE convergence, state changes
+//	GET  /v1/mining/status    offline APA miner state (404 when mining is disabled)
 //	GET  /healthz             liveness
 //	GET  /readyz              readiness (503 while draining)
 //	GET  /metrics             metrics snapshot (?format=text for a table,
@@ -31,6 +33,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/compile", s.handleCompile)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	mux.HandleFunc("GET /v1/mining/status", s.handleMiningStatus)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -85,6 +88,18 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		s.badRequest(w, fmt.Errorf("bad priority %q (want normal or high)", req.Priority))
 		return
 	}
+	if req.MinSupport != 0 {
+		// Validate the mining knob against the same rules the miner itself
+		// enforces: an invalid value is a distinct "invalid_argument", not
+		// silently clamped to the default (that clamp was a bug).
+		mopts := mining.DefaultOptions()
+		mopts.MinSupport = req.MinSupport
+		if err := mopts.Validate(); err != nil {
+			s.reg.Counter("server.bad_requests").Inc()
+			api.WriteError(w, http.StatusBadRequest, api.CodeInvalidArgument, err.Error())
+			return
+		}
+	}
 
 	j := s.jobs.add(&req, logical, prof, s.jobTimeout(&req))
 	if err := s.Submit(j); err != nil {
@@ -125,6 +140,18 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	}
 	st := j.status()
 	writeJSON(w, statusCodeFor(st), api.CompileResponse{JobStatus: st})
+}
+
+// handleMiningStatus serves the offline miner's live state. A server
+// without mining enabled has no such resource: 404 with the standard
+// envelope, so clients can distinguish "disabled" from a transport error.
+func (s *Server) handleMiningStatus(w http.ResponseWriter, r *http.Request) {
+	if s.miner == nil {
+		api.WriteError(w, http.StatusNotFound, api.CodeNotFound,
+			"mining is disabled on this server (start with -mine-interval > 0)")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.miner.Status())
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {

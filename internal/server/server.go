@@ -31,6 +31,8 @@ import (
 	"paqoc/internal/api"
 	"paqoc/internal/cluster"
 	"paqoc/internal/device"
+	"paqoc/internal/miner"
+	"paqoc/internal/mining"
 	"paqoc/internal/obs"
 	"paqoc/internal/pulse"
 )
@@ -112,6 +114,21 @@ type Config struct {
 	ClusterPeers []string
 	// ClusterTimeout bounds each peer RPC (default 2s).
 	ClusterTimeout time.Duration
+	// MineInterval enables the offline APA mining service (internal/miner)
+	// and sets its run cadence: the miner folds the circuits this server
+	// compiles into per-backend cross-request pattern tables and, while
+	// the job queue is idle, pre-generates top-coverage patterns' pulses
+	// into the shared database. Zero or negative disables mining (the
+	// default).
+	MineInterval time.Duration
+	// MineMinSupport is the miner's cross-request recurrence threshold
+	// (default 2). Negative values are a construction error.
+	MineMinSupport int
+	// MineCorpusMax bounds the miner's per-backend circuit corpus
+	// (default 256).
+	MineCorpusMax int
+	// MineBudget caps pulses pre-generated per idle mining run (default 4).
+	MineBudget int
 	// Logger receives structured service logs (default: JSON lines on
 	// stderr at info level; tests pass obs.NewLogger(io.Discard, ...)).
 	// Every job lifecycle transition — queued, running, done/failed,
@@ -193,6 +210,12 @@ type Server struct {
 	fpmu    sync.Mutex
 	dbsByFP map[string]*pulse.DB
 
+	// miner is the offline APA mining service (nil unless
+	// Config.MineInterval is positive). It observes every compiled
+	// circuit and pre-generates frequent patterns' pulses during idle
+	// capacity.
+	miner *miner.Miner
+
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 	workerWG   sync.WaitGroup
@@ -254,6 +277,29 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		cancel()
 		return nil, fmt.Errorf("server: %v", err)
+	}
+	if cfg.MineInterval > 0 {
+		mopts := mining.DefaultOptions()
+		mopts.MinSupport = cfg.MineMinSupport
+		s.miner, err = miner.New(miner.Config{
+			Interval:  cfg.MineInterval,
+			Mining:    mopts,
+			CorpusMax: cfg.MineCorpusMax,
+			Budget:    cfg.MineBudget,
+			// Idle means no client work anywhere: nothing queued and no
+			// worker busy. Pre-generation re-checks this before every
+			// pulse and yields as soon as a request arrives.
+			Idle: func() bool {
+				return s.reg.Gauge("server.queue_len").Value() == 0 &&
+					s.reg.Gauge("server.jobs_running").Value() == 0
+			},
+			Registry: s.reg,
+			Logger:   cfg.Logger,
+		})
+		if err != nil {
+			cancel()
+			return nil, fmt.Errorf("server: %v", err)
+		}
 	}
 	preregisterMetrics(s.reg)
 	obs.RegisterRuntimeCollector(s.reg)
@@ -380,8 +426,14 @@ func (s *Server) Start() {
 		s.snapWG.Add(1)
 		go s.snapshotter()
 	}
+	if s.miner != nil {
+		s.miner.Start()
+	}
 	s.ready.Store(true)
 }
+
+// Miner exposes the offline APA mining service (nil when disabled).
+func (s *Server) Miner() *miner.Miner { return s.miner }
 
 // Submit enqueues a job on its priority lane, failing fast when the
 // server is draining, the lane is full, or the job's tenant is at its
@@ -606,6 +658,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.qmu.Unlock()
 	s.ready.Store(false)
 
+	// Stop the miner first: its pre-generation lane is the lowest-priority
+	// work in the process, and its generators are ctx-aware, so an
+	// in-flight offline optimization is cancelled promptly and never
+	// delays the drain or the final snapshot.
+	if s.miner != nil {
+		s.miner.Stop()
+	}
 	if s.started.Load() {
 		close(s.snapStop)
 		s.snapWG.Wait()
@@ -658,6 +717,8 @@ func preregisterMetrics(r *obs.Registry) {
 		"cluster.serve_hits", "cluster.serve_merges", "grape.remote_hits",
 		"pulse.nearest_scanned", "pulse.nearest_pruned",
 		"pulse.evictions", "pulse.save_skipped_nonfinite",
+		"miner.pregenerated", "miner.pregen_hits", "miner.idle_runs",
+		"miner.yields", "miner.ingest_dropped",
 	} {
 		r.Counter(name)
 	}
@@ -667,6 +728,7 @@ func preregisterMetrics(r *obs.Registry) {
 		"server.jobs_running", "cluster.owned_keys",
 		"engine.inflight", "engine.active_workers", "engine.active_workers.peak",
 		"engine.queued", "engine.queued.peak",
+		"miner.patterns_tracked", "miner.corpus_circuits",
 	} {
 		r.Gauge(name)
 	}
@@ -674,6 +736,7 @@ func preregisterMetrics(r *obs.Registry) {
 	// place that fixes each family's label set and bucket layout.
 	r.Histogram("server.queue_wait_ms", obs.LatencyBuckets)
 	r.Histogram("engine.task_ms", obs.LatencyBuckets)
+	r.Histogram("miner.pregen_ms", obs.LatencyBuckets)
 	r.HistogramVec("server.job_ms", obs.LatencyBuckets, "outcome")
 	r.HistogramVec(obs.StageMetric, obs.LatencyBuckets, "stage")
 
@@ -695,6 +758,14 @@ func preregisterMetrics(r *obs.Registry) {
 		"obs.convergence_dropped":      "GRAPE convergence-trace points discarded by the per-optimization cap.",
 		"grape.iterations":             "GRAPE optimizer iterations executed.",
 		"pulse.db_dedups":              "Generator runs avoided by singleflight coalescing on the pulse DB.",
+		"miner.pregenerated":           "APA-basis pulses pre-generated by the offline miner during idle capacity.",
+		"miner.pregen_hits":            "Uses of pre-generated pulse entries by later compile requests.",
+		"miner.idle_runs":              "Mining runs that found the job queue idle and entered the pre-generation lane.",
+		"miner.yields":                 "Pre-generation lanes abandoned mid-run because client work arrived.",
+		"miner.ingest_dropped":         "Compile-path observations dropped because the miner ingest queue was full.",
+		"miner.patterns_tracked":       "Cross-request frequent patterns currently at or above the support threshold.",
+		"miner.corpus_circuits":        "Circuits currently in the miner's bounded corpus across backends.",
+		"miner.pregen_ms":              "Per-pulse offline pre-generation wall clock, milliseconds.",
 	} {
 		r.SetHelp(name, help)
 	}
