@@ -6,6 +6,7 @@ import (
 	"io"
 	"testing"
 
+	"paqoc/internal/bench"
 	"paqoc/internal/grape"
 	"paqoc/internal/hamiltonian"
 	"paqoc/internal/linalg"
@@ -15,7 +16,10 @@ import (
 // KernelRecord is one measured kernel variant in the destination-passing
 // benchmark suite (BENCH_003.json): the value-returning ("before") and
 // Into ("after") form of each hot operation, plus whole-GRAPE-iteration
-// figures for the reference and arena paths.
+// figures for the reference and arena paths. BENCH_010.json extends the
+// suite with the specialized matmul dispatch (mul.generic vs mul.blocked),
+// the parallel gradient pass (gradpass.*), and the end-to-end 17-benchmark
+// sweep with the specialized kernels off vs on (e2e.sweep17.*).
 type KernelRecord struct {
 	Name        string  `json:"name"`
 	N           int     `json:"n"` // matrix dimension (or slice count context, see name)
@@ -99,6 +103,29 @@ func Kernels() []KernelRecord {
 		})),
 	)
 
+	// Specialized-dispatch comparison (BENCH_010.json): the portable
+	// scalar kernel against the blocked/unrolled MulInto dispatch at the
+	// dimensions the compiler actually produces (2/3/4-qubit unitary
+	// spaces). Both paths are bit-identical; only the schedule of the
+	// arithmetic differs (see internal/linalg/kernels_amd64.s).
+	for _, n := range []int{4, 8, 16} {
+		ga := randomKernelMatrix(n, 201)
+		gb := randomKernelMatrix(n, 202)
+		gd := linalg.New(n, n)
+		out = append(out,
+			record("mul.generic", n, testing.Benchmark(func(bb *testing.B) {
+				for i := 0; i < bb.N; i++ {
+					linalg.MulIntoGeneric(gd, ga, gb)
+				}
+			})),
+			record("mul.blocked", n, testing.Benchmark(func(bb *testing.B) {
+				for i := 0; i < bb.N; i++ {
+					linalg.MulInto(gd, ga, gb)
+				}
+			})),
+		)
+	}
+
 	// Whole-iteration comparison on a CX problem: TargetFidelity 2 is
 	// unreachable, so each Optimize call runs exactly MaxIter iterations
 	// and the per-op figures normalize to per-iteration cost.
@@ -119,6 +146,48 @@ func Kernels() []KernelRecord {
 		perIteration(record("grapeiter.reference", slices, refRes), iters),
 		perIteration(record("grapeiter.arena", slices, arenaRes), iters),
 	)
+
+	// Parallel forward/gradient pass: per-iteration cost of the same
+	// optimization with the worker pool on. On a single-core host this
+	// only measures coordination overhead; rerun on a multi-core host for
+	// the wall-clock win (results are bit-identical either way).
+	const parSlices = 16
+	for _, workers := range []int{1, 4} {
+		wopts := opts
+		wopts.Workers = workers
+		name := "gradpass.serial"
+		if workers > 1 {
+			name = "gradpass.parallel4"
+		}
+		res := testing.Benchmark(func(bb *testing.B) {
+			for i := 0; i < bb.N; i++ {
+				grape.OptimizeCtx(context.Background(), sys2, quantum.MatCX, parSlices, wopts)
+			}
+		})
+		out = append(out, perIteration(record(name, parSlices, res), iters))
+	}
+
+	// End-to-end compile seconds: the full 17-benchmark analytical sweep
+	// (the fig10/fig12 workload) with the specialized kernels disabled
+	// ("before") and enabled ("after"). The sweep's hot path is Weyl
+	// coordinates and unitary consolidation — 4- and 8-dim MulInto.
+	specs := bench.All()
+	for _, fast := range []bool{false, true} {
+		name := "e2e.sweep17.generic"
+		if fast {
+			name = "e2e.sweep17.blocked"
+		}
+		prev := linalg.SetFastKernels(fast)
+		res := testing.Benchmark(func(bb *testing.B) {
+			for i := 0; i < bb.N; i++ {
+				if _, err := DefaultPlatform().RunAll(specs); err != nil {
+					panic(err)
+				}
+			}
+		})
+		linalg.SetFastKernels(prev)
+		out = append(out, record(name, len(specs), res))
+	}
 	return out
 }
 

@@ -155,10 +155,23 @@ func (g *Generator) optimize(ctx context.Context, cg *pulse.CustomGate, u *linal
 	if n := cg.NumQubits(); n > 2 {
 		opts.MaxIter *= n
 	}
+	sys := g.system(cg.NumQubits(), g.couplings(cg))
 	if g.DB != nil && g.SimilarityDist > 0 {
 		if e, _, ok := g.DB.Nearest(u, g.SimilarityDist); ok && e.Generated.Schedule != nil {
-			opts.InitialGuess = e.Generated.Schedule
-			reg.Counter("grape.warm_starts").Inc()
+			// Adopt the guess only when every control channel of this
+			// system exists in the stored schedule (matched by name): a
+			// hit recorded under a different coupling graph or profile
+			// must not seed drive amps onto a coupler channel. The
+			// warm_starts counter moves with the check so it counts
+			// guesses actually applied, not Nearest hits later rejected.
+			if sched := e.Generated.Schedule; alignGuess(sys, sched) != nil {
+				opts.InitialGuess = sched
+				// The cached entry's duration is the best prior for the
+				// minimum-time bracket (§V-B): similar unitaries need
+				// similar pulse lengths.
+				opts.HintSlices = sched.NumSlices()
+				reg.Counter("grape.warm_starts").Inc()
+			}
 		}
 	}
 
@@ -177,7 +190,6 @@ func (g *Generator) optimize(ctx context.Context, cg *pulse.CustomGate, u *linal
 		}
 	}
 
-	sys := g.system(cg.NumQubits(), g.couplings(cg))
 	start := time.Now()
 	reg.Counter("grape.generated").Inc()
 	sched, latency, fid, err := MinimumTimeCtx(ctx, sys, u, opts)

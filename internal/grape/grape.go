@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"paqoc/internal/hamiltonian"
 	"paqoc/internal/linalg"
@@ -34,6 +35,19 @@ type Options struct {
 	MinSlices      int     // binary-search lower bound (default 2)
 	MaxSlices      int     // binary-search upper bound (default 128)
 	InitialGuess   *pulse.Schedule
+	// Workers sets the goroutine count for the per-slice propagator and
+	// gradient passes (0 or 1 runs them inline). Results are bit-identical
+	// across worker counts: the parallel phases only compute per-slice
+	// terms whose inputs and kernels do not depend on scheduling, and the
+	// gradient-norm reduction always runs serially in the original order
+	// (TestParallelWorkersMatchSerial pins this).
+	Workers int
+	// HintSlices, when positive, starts the minimum-time doubling bracket
+	// at this slice count instead of MinSlices (clamped to [MinSlices,
+	// MaxSlices]) — the duration prior carried by a near-miss cache hit.
+	// Probes below a failed hint are skipped under the same monotonicity
+	// assumption the binary search itself makes.
+	HintSlices int
 	// RecordConvergence captures a per-iteration fidelity / gradient-norm /
 	// step-size trace in Result.Trace (one allocation per iteration; off on
 	// the hot path by default).
@@ -112,13 +126,41 @@ type arena struct {
 	c, cNext, d, targetDag *linalg.Matrix
 	sliceAmps              []float64
 	amps, grads, m, v      [][]float64
+	// bwd stores every backward cumulative product C_j for the parallel
+	// gradient pass (the serial path ping-pongs c/cNext instead).
+	bwd []*linalg.Matrix
+	// workers holds per-goroutine sub-arenas (workspace, X_j·C_j buffer,
+	// slice-amplitude staging) so parallel phases share no scratch.
+	workers []*workerState
+
+	// Cross-probe reuse, active only when MinimumTimeCtx sets
+	// reuseProbes: seed carries the previous probe's best amplitudes
+	// (seedN slices) as the next probe's resampled initial guess, and
+	// when seedProps is set the active props bank realizes exactly those
+	// amplitudes (the probe returned on the target-reached path, before
+	// any ADAM update), so the next probe's first forward pass can copy
+	// propagators instead of re-exponentiating. propsAlt is the second
+	// propagator bank: the banks swap at probe start so the new probe
+	// never clobbers entries the resampling still reads.
+	reuseProbes bool
+	seed        [][]float64
+	seedN       int
+	seedProps   bool
+	propsAlt    []*linalg.Matrix
+}
+
+// workerState is one parallel worker's private scratch.
+type workerState struct {
+	ws        *linalg.Workspace
+	d         *linalg.Matrix
+	sliceAmps []float64
 }
 
 func newArena() *arena { return &arena{} }
 
-// ensure sizes every buffer for a (dim, controls, slices) problem,
-// reusing prior storage where shapes allow.
-func (ar *arena) ensure(dim, nc, slices int) {
+// ensure sizes every buffer for a (dim, controls, slices, workers)
+// problem, reusing prior storage where shapes allow.
+func (ar *arena) ensure(dim, nc, slices, workers int) {
 	if ar.dim != dim {
 		ar.dim = dim
 		ar.ws = linalg.NewWorkspace(dim)
@@ -126,7 +168,10 @@ func (ar *arena) ensure(dim, nc, slices int) {
 		ar.cNext = linalg.New(dim, dim)
 		ar.d = linalg.New(dim, dim)
 		ar.targetDag = linalg.New(dim, dim)
-		ar.props, ar.fwd = nil, nil
+		ar.props, ar.fwd, ar.bwd = nil, nil, nil
+		ar.workers = nil
+		// Propagators cached for cross-probe reuse are dim-specific too.
+		ar.propsAlt, ar.seed, ar.seedN, ar.seedProps = nil, nil, 0, false
 	}
 	for len(ar.props) < slices {
 		ar.props = append(ar.props, linalg.New(dim, dim))
@@ -142,6 +187,23 @@ func (ar *arena) ensure(dim, nc, slices int) {
 	ar.grads = growRows(ar.grads, nc, slices)
 	ar.m = growRows(ar.m, nc, slices)
 	ar.v = growRows(ar.v, nc, slices)
+	if workers > 1 {
+		for len(ar.bwd) < slices {
+			ar.bwd = append(ar.bwd, linalg.New(dim, dim))
+		}
+		for len(ar.workers) < workers {
+			ar.workers = append(ar.workers, &workerState{
+				ws: linalg.NewWorkspace(dim),
+				d:  linalg.New(dim, dim),
+			})
+		}
+		for _, st := range ar.workers {
+			if cap(st.sliceAmps) < nc {
+				st.sliceAmps = make([]float64, nc)
+			}
+			st.sliceAmps = st.sliceAmps[:nc]
+		}
+	}
 }
 
 func growRows(rows [][]float64, nc, slices int) [][]float64 {
@@ -175,13 +237,33 @@ func optimize(ctx context.Context, sys *hamiltonian.System, target *linalg.Matri
 	reg := obs.MetricsFrom(ctx)
 	iterCtr := reg.Counter("grape.iterations")
 	expmCtr := reg.Counter("grape.expm")
+	reuseCtr := reg.Counter("grape.probe_prop_reuse")
 	gradHist := reg.Histogram("grape.grad_norm", []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1, 10})
 	if target.Rows != sys.Dim {
 		panic(fmt.Sprintf("grape: target dim %d does not match system dim %d", target.Rows, sys.Dim))
 	}
 	nc := len(sys.Controls)
 	rng := rand.New(rand.NewSource(opts.Seed + int64(slices)))
-	ar.ensure(sys.Dim, nc, slices)
+	workers := opts.Workers
+	if workers > slices {
+		workers = slices
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	// Cross-probe propagator reuse (MinimumTimeCtx only): when the
+	// previous probe's active props bank realizes exactly the seed
+	// amplitudes, park it in propsAlt before ensure grows the new active
+	// bank — resampled column j of this probe equals seed column
+	// j*seedN/slices, so its propagator can be copied on iteration 1.
+	var prevProps []*linalg.Matrix
+	useProbeSeed := ar.reuseProbes && ar.dim == sys.Dim && ar.seedN > 0 && len(ar.seed) == nc
+	if useProbeSeed && ar.seedProps {
+		ar.props, ar.propsAlt = ar.propsAlt, ar.props
+		prevProps = ar.propsAlt
+	}
+	ar.ensure(sys.Dim, nc, slices, workers)
 
 	amps := ar.amps
 	for k := range amps {
@@ -189,15 +271,26 @@ func optimize(ctx context.Context, sys *hamiltonian.System, target *linalg.Matri
 			amps[k][j] = sys.Controls[k].Bound * 0.2 * (rng.Float64()*2 - 1)
 		}
 	}
-	if opts.InitialGuess != nil && len(opts.InitialGuess.Amps) == nc {
-		// Warm start: resample the guess onto this slice count.
-		src := opts.InitialGuess.Amps
-		srcN := len(src[0])
-		if srcN > 0 {
-			for k := 0; k < nc; k++ {
-				for j := 0; j < slices; j++ {
-					amps[k][j] = src[k][j*srcN/slices]
-				}
+	if guess := alignGuess(sys, opts.InitialGuess); guess != nil {
+		// Warm start: resample the guess onto this slice count, channel
+		// by channel (per-channel lengths may differ after a snapshot
+		// merge; alignGuess already rejected empty or missing channels).
+		for k := 0; k < nc; k++ {
+			src := guess[k]
+			srcN := len(src)
+			for j := 0; j < slices; j++ {
+				amps[k][j] = src[j*srcN/slices]
+			}
+		}
+	}
+	if useProbeSeed {
+		// The previous duration probe's best amplitudes are a better
+		// starting point than any external guess: same system, same
+		// unitary, one slice count over. Resample them on top.
+		for k := 0; k < nc; k++ {
+			src := ar.seed[k]
+			for j := 0; j < slices; j++ {
+				amps[k][j] = src[j*ar.seedN/slices]
 			}
 		}
 	}
@@ -244,15 +337,39 @@ func optimize(ctx context.Context, sys *hamiltonian.System, target *linalg.Matri
 			return best
 		}
 		iterCtr.Inc()
-		// Forward pass: slice propagators and cumulative products.
-		for j := 0; j < slices; j++ {
-			for k := 0; k < nc; k++ {
-				ar.sliceAmps[k] = amps[k][j]
+		// Forward pass: slice propagators, then the (order-dependent,
+		// serial) cumulative products. On the first iteration after a
+		// props-valid duration probe every propagator is a copy of the
+		// previous probe's — each resampled amplitude column is bit-equal
+		// to the column its cached propagator was exponentiated from.
+		if iter == 1 && prevProps != nil {
+			for j := 0; j < slices; j++ {
+				props[j].CopyFrom(prevProps[j*ar.seedN/slices])
 			}
-			sys.PropagatorInto(props[j], ar.sliceAmps, dt, ar.ws)
+			reuseCtr.Add(int64(slices))
+		} else if workers > 1 {
+			parallelFor(workers, slices, func(w, lo, hi int) {
+				st := ar.workers[w]
+				for j := lo; j < hi; j++ {
+					for k := 0; k < nc; k++ {
+						st.sliceAmps[k] = amps[k][j]
+					}
+					sys.PropagatorInto(props[j], st.sliceAmps, dt, st.ws)
+				}
+			})
+			expmCtr.Add(int64(slices))
+		} else {
+			for j := 0; j < slices; j++ {
+				for k := 0; k < nc; k++ {
+					ar.sliceAmps[k] = amps[k][j]
+				}
+				sys.PropagatorInto(props[j], ar.sliceAmps, dt, ar.ws)
+			}
+			expmCtr.Add(int64(slices))
+		}
+		for j := 0; j < slices; j++ {
 			linalg.MulInto(fwd[j+1], props[j], fwd[j])
 		}
-		expmCtr.Add(int64(slices))
 		overlap := linalg.TraceOverlap(target, fwd[slices]) // tr(V†·X_N)
 		fid := (real(overlap)*real(overlap) + imag(overlap)*imag(overlap)) / (dim * dim)
 		if fid > best.Fidelity {
@@ -271,6 +388,12 @@ func optimize(ctx context.Context, sys *hamiltonian.System, target *linalg.Matri
 						opts.OnIteration(pt)
 					}
 				}
+				if ar.reuseProbes {
+					// Returning before the ADAM update means props still
+					// realize exactly best.Amps: the next probe may both
+					// seed from them and copy their propagators.
+					ar.seed, ar.seedN, ar.seedProps = best.Amps, slices, true
+				}
 				return best
 			}
 		}
@@ -278,21 +401,52 @@ func optimize(ctx context.Context, sys *hamiltonian.System, target *linalg.Matri
 		// Backward pass: C_j = V†·B_j with B_j = U_N···U_{j+1}.
 		// ∂Φ/∂u_{k,j} = (2/d²)·Re[conj(g)·tr(C_j·(-i·dt·H_k)·X_j)]
 		// where X_j = fwd[j+1]. Using cyclicity, tr(C·H·X) = tr((X·C)·H).
-		c, cNext := ar.c, ar.cNext
-		c.CopyFrom(ar.targetDag) // C_N = V† (B_N = I)
 		grads := ar.grads
 		var gradSq float64
-		for j := slices - 1; j >= 0; j-- {
-			linalg.MulInto(ar.d, fwd[j+1], c) // X_j · C_j
-			for k := 0; k < nc; k++ {
-				t := traceProduct(ar.d, sys.Controls[k].H)
-				val := complex(0, -dt) * t
-				g := 2 / (dim * dim) * (real(overlap)*real(val) + imag(overlap)*imag(val))
-				grads[k][j] = g
-				gradSq += g * g
+		if workers > 1 {
+			// Parallel gradient: store every C_j (the chain itself is
+			// order-dependent and stays serial), then fan the per-slice
+			// terms out — grads[k][j] writes are disjoint across workers.
+			// The norm reduction runs serially afterwards in the serial
+			// path's exact order (j descending, k ascending), so the sum
+			// is bit-identical regardless of worker count.
+			bwd := ar.bwd[:slices]
+			bwd[slices-1].CopyFrom(ar.targetDag)
+			for j := slices - 1; j > 0; j-- {
+				linalg.MulInto(bwd[j-1], bwd[j], props[j])
 			}
-			linalg.MulInto(cNext, c, props[j]) // C_{j-1} = C_j·U_j
-			c, cNext = cNext, c
+			parallelFor(workers, slices, func(w, lo, hi int) {
+				st := ar.workers[w]
+				for j := lo; j < hi; j++ {
+					linalg.MulInto(st.d, fwd[j+1], bwd[j])
+					for k := 0; k < nc; k++ {
+						t := traceProduct(st.d, sys.Controls[k].H)
+						val := complex(0, -dt) * t
+						grads[k][j] = 2 / (dim * dim) * (real(overlap)*real(val) + imag(overlap)*imag(val))
+					}
+				}
+			})
+			for j := slices - 1; j >= 0; j-- {
+				for k := 0; k < nc; k++ {
+					g := grads[k][j]
+					gradSq += g * g
+				}
+			}
+		} else {
+			c, cNext := ar.c, ar.cNext
+			c.CopyFrom(ar.targetDag) // C_N = V† (B_N = I)
+			for j := slices - 1; j >= 0; j-- {
+				linalg.MulInto(ar.d, fwd[j+1], c) // X_j · C_j
+				for k := 0; k < nc; k++ {
+					t := traceProduct(ar.d, sys.Controls[k].H)
+					val := complex(0, -dt) * t
+					g := 2 / (dim * dim) * (real(overlap)*real(val) + imag(overlap)*imag(val))
+					grads[k][j] = g
+					gradSq += g * g
+				}
+				linalg.MulInto(cNext, c, props[j]) // C_{j-1} = C_j·U_j
+				c, cNext = cNext, c
+			}
 		}
 		gradNorm := math.Sqrt(gradSq)
 		gradHist.Observe(gradNorm)
@@ -327,7 +481,58 @@ func optimize(ctx context.Context, sys *hamiltonian.System, target *linalg.Matri
 			}
 		}
 	}
+	if ar.reuseProbes && best.Amps != nil {
+		// Iteration budget exhausted: the amplitudes are still the best
+		// seed for the next duration probe, but props were overwritten
+		// by later iterations and no longer realize best.Amps.
+		ar.seed, ar.seedN, ar.seedProps = best.Amps, slices, false
+	}
 	return best
+}
+
+// parallelFor splits [0, n) into one contiguous range per worker and
+// runs f(w, lo, hi) on its own goroutine, blocking until all finish.
+func parallelFor(workers, n int, f func(w, lo, hi int)) {
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*n/workers, (w+1)*n/workers
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			f(w, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+}
+
+// alignGuess maps a stored schedule's channels onto sys.Controls by
+// name, returning per-control sample slices in control order. It
+// returns nil — degrade to a cold start — when the schedule is nil or
+// malformed (channel/amps length mismatch), when any control channel is
+// missing from the schedule (e.g. a hit recorded under a different
+// coupling graph or profile), or when a matched channel has no samples.
+// Per-channel sample counts may legitimately differ after a snapshot
+// merge; callers resample each channel by its own length.
+func alignGuess(sys *hamiltonian.System, sched *pulse.Schedule) [][]float64 {
+	if sched == nil || len(sched.Channels) != len(sched.Amps) {
+		return nil
+	}
+	byName := make(map[string][]float64, len(sched.Channels))
+	for i, name := range sched.Channels {
+		byName[name] = sched.Amps[i]
+	}
+	out := make([][]float64, len(sys.Controls))
+	for k, c := range sys.Controls {
+		samples, ok := byName[c.Name]
+		if !ok || len(samples) == 0 {
+			return nil
+		}
+		out[k] = samples
+	}
+	return out
 }
 
 // traceProduct returns tr(A·B) without forming the product.
@@ -375,6 +580,10 @@ func MinimumTimeCtx(ctx context.Context, sys *hamiltonian.System, target *linalg
 	defer bsSpan.End()
 
 	ar := newArena()
+	// Consecutive probes optimize the same unitary on the same system:
+	// carry each probe's best amplitudes into the next as a resampled
+	// seed, and let target-reached probes donate their slice propagators.
+	ar.reuseProbes = true
 	run := func(slices int) *Result {
 		probeCtr.Inc()
 		probeCtx, span := obs.StartSpan(ctx, "grape.binsearch.probe")
@@ -388,8 +597,23 @@ func MinimumTimeCtx(ctx context.Context, sys *hamiltonian.System, target *linalg
 
 	// Find a feasible upper bound by doubling. Each probe is bracketed by a
 	// cancellation check so a cancelled fleet stops between (and, via
-	// OptimizeCtx, inside) duration probes.
-	lo, hi := opts.MinSlices, opts.MinSlices
+	// OptimizeCtx, inside) duration probes. A HintSlices prior (typically
+	// a near-miss cache hit's slice count) starts the bracket there
+	// instead of MinSlices, skipping the doubling probes below it; the
+	// binary search still descends to MinSlices afterwards, so minimality
+	// is unchanged.
+	start := opts.MinSlices
+	if opts.HintSlices > 0 {
+		start = opts.HintSlices
+		if start < opts.MinSlices {
+			start = opts.MinSlices
+		}
+		if start > opts.MaxSlices {
+			start = opts.MaxSlices
+		}
+		bsSpan.SetAttr("hint", start)
+	}
+	lo, hi := opts.MinSlices, start
 	var hiRes *Result
 	for {
 		if err := ctx.Err(); err != nil {

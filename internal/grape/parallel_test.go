@@ -1,0 +1,102 @@
+package grape
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"paqoc/internal/hamiltonian"
+	"paqoc/internal/quantum"
+)
+
+// TestParallelWorkersMatchSerial pins the parallel inner loop's central
+// invariant: workers=N must reproduce workers=1 bit-for-bit (==, not
+// approximately). The parallel phases only compute per-slice terms whose
+// kernels and inputs are scheduling-independent, and the gradient-norm
+// reduction always runs serially in the original order — so any
+// divergence here means a worker raced or the reduction order drifted.
+func TestParallelWorkersMatchSerial(t *testing.T) {
+	for _, tc := range equivalenceCases() {
+		for _, workers := range []int{2, 4, 7} {
+			opts := Options{MaxIter: 60, Seed: 42, TargetFidelity: 0.9999}
+			serial := OptimizeCtx(context.Background(), tc.sys, tc.target, tc.slices, opts)
+			opts.Workers = workers
+			par := OptimizeCtx(context.Background(), tc.sys, tc.target, tc.slices, opts)
+			if par.Fidelity != serial.Fidelity {
+				t.Fatalf("%s workers=%d: fidelity diverged: %v vs %v",
+					tc.name, workers, par.Fidelity, serial.Fidelity)
+			}
+			if par.Iters != serial.Iters {
+				t.Fatalf("%s workers=%d: iters diverged: %d vs %d",
+					tc.name, workers, par.Iters, serial.Iters)
+			}
+			for k := range serial.Amps {
+				for j := range serial.Amps[k] {
+					if par.Amps[k][j] != serial.Amps[k][j] {
+						t.Fatalf("%s workers=%d: amps[%d][%d] diverged: %v vs %v",
+							tc.name, workers, k, j, par.Amps[k][j], serial.Amps[k][j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestParallelMinimumTimeMatchesSerial extends the bit-identity pin to a
+// whole minimum-duration search, where probe seeding and propagator
+// reuse interact with the worker pool.
+func TestParallelMinimumTimeMatchesSerial(t *testing.T) {
+	sys := hamiltonian.XYTransmon(1, nil)
+	opts := DefaultOptions()
+	opts.MaxIter = 60
+	serialSched, serialLat, serialFid, err := MinimumTimeCtx(context.Background(), sys, quantum.MatX, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Workers = 4
+	parSched, parLat, parFid, err := MinimumTimeCtx(context.Background(), sys, quantum.MatX, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parLat != serialLat || parFid != serialFid {
+		t.Fatalf("minimum-time diverged: workers=4 (lat %v, fid %v) vs serial (lat %v, fid %v)",
+			parLat, parFid, serialLat, serialFid)
+	}
+	for k := range serialSched.Amps {
+		for j := range serialSched.Amps[k] {
+			if parSched.Amps[k][j] != serialSched.Amps[k][j] {
+				t.Fatalf("schedule amps[%d][%d] diverged", k, j)
+			}
+		}
+	}
+}
+
+// TestParallelGradientRaceHammer drives several worker-pool optimizations
+// concurrently so `go test -race` can observe the parallel propagator and
+// gradient phases under contention (per-worker sub-arenas must share no
+// scratch, and grads[k][j] writes must stay disjoint).
+func TestParallelGradientRaceHammer(t *testing.T) {
+	sys := hamiltonian.XYTransmon(2, [][2]int{{0, 1}})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			opts := Options{MaxIter: 25, Seed: seed, TargetFidelity: 2, Workers: 4}
+			OptimizeCtx(context.Background(), sys, quantum.MatCX, 16, opts)
+		}(int64(i))
+	}
+	wg.Wait()
+}
+
+// BenchmarkParallelGradient is the CI smoke for the parallel inner loop
+// (run with -benchtime=1x): it exercises the worker-pool forward and
+// gradient phases end to end.
+func BenchmarkParallelGradient(b *testing.B) {
+	sys := hamiltonian.XYTransmon(2, [][2]int{{0, 1}})
+	opts := Options{MaxIter: 30, Seed: 3, TargetFidelity: 2, Workers: 4}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		OptimizeCtx(context.Background(), sys, quantum.MatCX, 16, opts)
+	}
+}

@@ -31,14 +31,12 @@ func OptimizeReference(sys *hamiltonian.System, target *linalg.Matrix, slices in
 			amps[k][j] = sys.Controls[k].Bound * 0.2 * (rng.Float64()*2 - 1)
 		}
 	}
-	if opts.InitialGuess != nil && len(opts.InitialGuess.Amps) == nc {
-		src := opts.InitialGuess.Amps
-		srcN := len(src[0])
-		if srcN > 0 {
-			for k := 0; k < nc; k++ {
-				for j := 0; j < slices; j++ {
-					amps[k][j] = src[k][j*srcN/slices]
-				}
+	if guess := alignGuess(sys, opts.InitialGuess); guess != nil {
+		for k := 0; k < nc; k++ {
+			src := guess[k]
+			srcN := len(src)
+			for j := 0; j < slices; j++ {
+				amps[k][j] = src[j*srcN/slices]
 			}
 		}
 	}

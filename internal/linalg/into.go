@@ -38,7 +38,10 @@ func IdentityInto(dst *Matrix) {
 }
 
 // MulInto computes the matrix product a·b into dst. dst must not alias
-// a or b.
+// a or b. Square products of dimension 4, 8, or 16 (the 2/3/4-qubit
+// unitary spaces that dominate GRAPE and pulse simulation) dispatch to
+// blocked kernels that are bit-identical to the generic loop; see
+// kernels_amd64.go.
 func MulInto(dst, a, b *Matrix) {
 	if a.Cols != b.Rows {
 		panic("linalg: MulInto shape mismatch")
@@ -46,6 +49,40 @@ func MulInto(dst, a, b *Matrix) {
 	if dst.Rows != a.Rows || dst.Cols != b.Cols {
 		panic("linalg: MulInto bad destination shape")
 	}
+	if useFastKernels && mulIntoFast(dst, a, b) {
+		return
+	}
+	mulIntoGeneric(dst, a, b)
+}
+
+// useFastKernels gates the specialized-kernel dispatch. It exists only
+// so SetFastKernels can measure generic-vs-blocked end-to-end; both
+// paths produce bit-identical results.
+var useFastKernels = true
+
+// SetFastKernels enables or disables the specialized kernel dispatch and
+// reports the previous setting. Benchmark-only: callers must not toggle
+// it while other goroutines are inside linalg kernels.
+func SetFastKernels(enabled bool) bool {
+	prev := useFastKernels
+	useFastKernels = enabled
+	return prev
+}
+
+// MulIntoGeneric is the portable scalar kernel behind MulInto, exported
+// so the paqoc-bench kernels experiment can benchmark the specialized
+// dispatch against its baseline. Same contract as MulInto.
+func MulIntoGeneric(dst, a, b *Matrix) {
+	if a.Cols != b.Rows {
+		panic("linalg: MulInto shape mismatch")
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic("linalg: MulInto bad destination shape")
+	}
+	mulIntoGeneric(dst, a, b)
+}
+
+func mulIntoGeneric(dst, a, b *Matrix) {
 	for i := range dst.Data {
 		dst.Data[i] = 0
 	}
@@ -65,7 +102,9 @@ func MulInto(dst, a, b *Matrix) {
 }
 
 // MulVecInto computes the matrix-vector product m·v into dst. dst must
-// not alias v and must have length m.Rows.
+// not alias v and must have length m.Rows. Square systems of dimension
+// 4, 8, or 16 dispatch to unrolled kernels with the same accumulation
+// order as the generic loop.
 func MulVecInto(dst []complex128, m *Matrix, v []complex128) {
 	if m.Cols != len(v) {
 		panic("linalg: MulVec length mismatch")
@@ -73,6 +112,23 @@ func MulVecInto(dst []complex128, m *Matrix, v []complex128) {
 	if len(dst) != m.Rows {
 		panic("linalg: MulVecInto bad destination length")
 	}
+	if useFastKernels && m.Rows == m.Cols {
+		switch m.Rows {
+		case 4:
+			mulVecInto4(dst, m, v)
+			return
+		case 8:
+			mulVecInto8(dst, m, v)
+			return
+		case 16:
+			mulVecInto16(dst, m, v)
+			return
+		}
+	}
+	mulVecIntoGeneric(dst, m, v)
+}
+
+func mulVecIntoGeneric(dst []complex128, m *Matrix, v []complex128) {
 	for r := 0; r < m.Rows; r++ {
 		var s complex128
 		row := m.Data[r*m.Cols : (r+1)*m.Cols]
@@ -80,6 +136,59 @@ func MulVecInto(dst []complex128, m *Matrix, v []complex128) {
 			s += mv * v[c]
 		}
 		dst[r] = s
+	}
+}
+
+// The unrolled matvec kernels keep the generic loop's exact FP order
+// (ascending-c chained accumulation from a +0 start); the win is bounds
+// -check elimination via array-pointer conversion plus 4-way unrolling.
+
+func mulVecInto4(dst []complex128, m *Matrix, v []complex128) {
+	md := (*[16]complex128)(m.Data)
+	vv := (*[4]complex128)(v)
+	dd := (*[4]complex128)(dst)
+	for r := 0; r < 4; r++ {
+		row := md[r*4 : r*4+4 : r*4+4]
+		var s complex128
+		s += row[0] * vv[0]
+		s += row[1] * vv[1]
+		s += row[2] * vv[2]
+		s += row[3] * vv[3]
+		dd[r] = s
+	}
+}
+
+func mulVecInto8(dst []complex128, m *Matrix, v []complex128) {
+	md := (*[64]complex128)(m.Data)
+	vv := (*[8]complex128)(v)
+	dd := (*[8]complex128)(dst)
+	for r := 0; r < 8; r++ {
+		row := md[r*8 : r*8+8 : r*8+8]
+		var s complex128
+		for c := 0; c < 8; c += 4 {
+			s += row[c] * vv[c]
+			s += row[c+1] * vv[c+1]
+			s += row[c+2] * vv[c+2]
+			s += row[c+3] * vv[c+3]
+		}
+		dd[r] = s
+	}
+}
+
+func mulVecInto16(dst []complex128, m *Matrix, v []complex128) {
+	md := (*[256]complex128)(m.Data)
+	vv := (*[16]complex128)(v)
+	dd := (*[16]complex128)(dst)
+	for r := 0; r < 16; r++ {
+		row := md[r*16 : r*16+16 : r*16+16]
+		var s complex128
+		for c := 0; c < 16; c += 4 {
+			s += row[c] * vv[c]
+			s += row[c+1] * vv[c+1]
+			s += row[c+2] * vv[c+2]
+			s += row[c+3] * vv[c+3]
+		}
+		dd[r] = s
 	}
 }
 

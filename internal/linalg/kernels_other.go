@@ -1,0 +1,9 @@
+//go:build !amd64
+
+package linalg
+
+// Non-amd64 builds fall back to the portable scalar kernels.
+
+const hasAVX2 = false
+
+func mulIntoFast(dst, a, b *Matrix) bool { return false }

@@ -102,7 +102,9 @@ func (s *Server) compile(ctx context.Context, j *Job) (*api.Result, error) {
 
 	var gen pulse.Generator
 	if req.Grape {
-		g := grape.NewGenerator(grape.DefaultOptions())
+		gopts := grape.DefaultOptions()
+		gopts.Workers = s.cfg.GrapeWorkers
+		g := grape.NewGenerator(gopts)
 		g.Topo = topo
 		g.DB = db // shared warm database: cross-request hits and dedups
 		g.System = j.profile.SystemBuilder()

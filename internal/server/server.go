@@ -68,6 +68,12 @@ type Config struct {
 	// without a cap one request could demand an arbitrarily wide engine
 	// pool multiplied across the server's own workers.
 	MaxJobWorkers int
+	// GrapeWorkers sets the per-optimization inner-loop goroutine count
+	// for GRAPE jobs (grape.Options.Workers; 0 or 1 = serial). Results
+	// are bit-identical across worker counts, so this is purely a
+	// throughput knob — but it multiplies against Workers, so size the
+	// product to the machine.
+	GrapeWorkers int
 	// EnablePprof mounts /debug/pprof on the public API mux. Off by
 	// default: the profiling endpoints are unauthenticated, so they belong
 	// on a loopback-only listener (cmd/paqoc-server's -pprof flag) unless
@@ -707,6 +713,7 @@ func preregisterMetrics(r *obs.Registry) {
 		"paqoc.emit.blocks",
 		"grape.iterations", "grape.binsearch.probes", "grape.generated",
 		"grape.db_hits", "grape.db_permuted_hits", "grape.warm_starts", "grape.expm",
+		"grape.probe_prop_reuse",
 		"pulsesim.slices", "pulsesim.expm", "pulsesim.esp_evals", "pulsesim.esp_gates",
 		"mining.subcircuits_enumerated", "mining.pruned_qubit_cap", "mining.patterns",
 		"latency.model.probes", "latency.model.db_hits",
